@@ -1,0 +1,166 @@
+"""Ablation benches for HCPerf's design choices (DESIGN.md §2).
+
+Each bench sweeps one knob of the coordinator on the Fig. 13 scenario
+(40 s: pre-window + onset + adaptation) and prints the resulting tracking
+quality and miss ratio — quantifying *why* the defaults are what they are:
+
+* the MFC-directed γ vs pinning γ (pure deadline mode / pure priority mode);
+* the Task Rate Adapter's utilization bound;
+* the exploration pressure ε;
+* the execution-time observer's EWMA weight;
+* the γ-search grid resolution (quality vs overhead).
+"""
+
+import dataclasses
+
+from repro.analysis import format_table
+from repro.core.coordinator import HCPerfConfig
+from repro.core.dynamic_priority import DynamicPriorityConfig
+from repro.core.mfc import MFCConfig
+from repro.core.rate_adapter import RateAdapterConfig
+from repro.experiments.runner import run_scenario
+from repro.schedulers.hcperf import HCPerfScheduler
+from repro.workloads import fig13_car_following
+
+HORIZON = 40.0
+SEED = 1
+
+
+def _run(config: HCPerfConfig):
+    scenario = fig13_car_following(horizon=HORIZON)
+    result = run_scenario(scenario, HCPerfScheduler(config), seed=SEED)
+    return (
+        result.speed_error_rms(),
+        result.overall_miss_ratio(),
+        result.control_throughput(),
+    )
+
+
+class _PinnedGamma(HCPerfScheduler):
+    """HCPerf with γ forced to a constant (ablates the MFC direction)."""
+
+    def __init__(self, gamma: float) -> None:
+        super().__init__()
+        self._pin = gamma
+        self.name = f"HCPerf(γ={gamma:g})"
+
+    def on_dispatch_round(self, now, view):
+        super().on_dispatch_round(now, view)
+        gmax = (
+            self.coordinator.last_result.gamma_max
+            if self.coordinator.last_result is not None
+            else None
+        )
+        self._gamma = self.coordinator.policy.clamp_gamma(self._pin, gmax)
+
+
+def test_bench_ablation_gamma_direction(once):
+    """Pure-deadline (γ=0) and pure-priority (γ=cap) vs MFC-directed γ."""
+
+    def sweep():
+        rows = []
+        for label, sched in (
+            ("γ = 0 (deadline mode)", _PinnedGamma(0.0)),
+            ("γ = cap (priority mode)", _PinnedGamma(1.0)),
+            ("MFC-directed (default)", HCPerfScheduler()),
+        ):
+            r = run_scenario(fig13_car_following(horizon=HORIZON), sched, seed=SEED)
+            rows.append([label, r.speed_error_rms(), r.overall_miss_ratio(),
+                         r.control_throughput()])
+        return rows
+
+    rows = once(sweep)
+    print("\n" + format_table(
+        "Ablation — who picks γ",
+        ["variant", "speed RMS", "miss ratio", "cmds/s"],
+        rows,
+    ))
+    by_label = {row[0]: row[1] for row in rows}
+    # The directed version must not lose to either fixed extreme.
+    assert by_label["MFC-directed (default)"] <= min(
+        by_label["γ = 0 (deadline mode)"], by_label["γ = cap (priority mode)"]
+    ) * 1.10
+
+
+def test_bench_ablation_utilization_bound(once):
+    def sweep():
+        rows = []
+        for bound in (0.70, 0.80, 0.90, 1.00):
+            cfg = HCPerfConfig(rate=RateAdapterConfig(utilization_bound=bound))
+            rms, miss, thr = _run(cfg)
+            rows.append([f"{bound:.2f}", rms, miss, thr])
+        return rows
+
+    rows = once(sweep)
+    print("\n" + format_table(
+        "Ablation — Task Rate Adapter utilization bound",
+        ["bound", "speed RMS", "miss ratio", "cmds/s"],
+        rows,
+    ))
+    misses = {row[0]: row[2] for row in rows}
+    # Without the guard (bound 1.0) the miss ratio is worse than the default.
+    assert misses["1.00"] >= misses["0.80"]
+
+
+def test_bench_ablation_epsilon(once):
+    def sweep():
+        rows = []
+        for eps in (0.005, 0.02, 0.1):
+            cfg = HCPerfConfig(rate=RateAdapterConfig(epsilon=eps))
+            rms, miss, thr = _run(cfg)
+            rows.append([f"{eps:g}", rms, miss, thr])
+        return rows
+
+    rows = once(sweep)
+    print("\n" + format_table(
+        "Ablation — rate-adapter exploration pressure ε",
+        ["epsilon", "speed RMS", "miss ratio", "cmds/s"],
+        rows,
+    ))
+    throughput = {row[0]: row[3] for row in rows}
+    # More upward pressure buys more command throughput.
+    assert throughput["0.1"] >= throughput["0.005"] * 0.95
+
+
+def test_bench_ablation_observer_alpha(once):
+    def sweep():
+        rows = []
+        for alpha in (0.2, 0.5, 1.0):
+            scenario = fig13_car_following(horizon=HORIZON)
+            scenario.sim = dataclasses.replace(scenario.sim, observer_alpha=alpha)
+            r = run_scenario(scenario, HCPerfScheduler(), seed=SEED)
+            rows.append([f"{alpha:g}", r.speed_error_rms(),
+                         r.overall_miss_ratio(), r.control_throughput()])
+        return rows
+
+    rows = once(sweep)
+    print("\n" + format_table(
+        "Ablation — execution-time observer EWMA weight (1.0 = last run)",
+        ["alpha", "speed RMS", "miss ratio", "cmds/s"],
+        rows,
+    ))
+    for row in rows:
+        assert row[2] < 0.1  # the coordinator copes at every smoothing level
+
+
+def test_bench_ablation_gamma_resolution(once):
+    def sweep():
+        rows = []
+        for resolution in (4, 16, 64):
+            cfg = HCPerfConfig(
+                priority=DynamicPriorityConfig(gamma_cap=0.02, resolution=resolution)
+            )
+            rms, miss, thr = _run(cfg)
+            rows.append([resolution, rms, miss, thr])
+        return rows
+
+    rows = once(sweep)
+    print("\n" + format_table(
+        "Ablation — γ_max search grid resolution",
+        ["grid points", "speed RMS", "miss ratio", "cmds/s"],
+        rows,
+    ))
+    # Even a coarse grid keeps the system functional (the search is a
+    # robustness mechanism, not a precision instrument).
+    for row in rows:
+        assert row[2] < 0.1

@@ -1,0 +1,31 @@
+"""Engine micro-bench: simulated-seconds-per-wall-second of the executor.
+
+Not a paper artifact, but the number a downstream user asks first: how fast
+does the substrate simulate the 23-task graph?
+"""
+
+from repro.rt import RTExecutor, SimConfig
+from repro.schedulers import EDFScheduler, HCPerfScheduler
+from repro.workloads import full_task_graph
+
+
+def _simulate(scheduler_factory, horizon=5.0):
+    graph = full_task_graph()
+    executor = RTExecutor(
+        graph,
+        scheduler_factory(),
+        SimConfig(n_processors=2, horizon=horizon, coordination_period=0.5, seed=0),
+    )
+    return executor.run()
+
+
+def test_bench_executor_edf(benchmark):
+    metrics = benchmark.pedantic(_simulate, args=(EDFScheduler,), rounds=3, iterations=1)
+    assert metrics.total_finished > 0
+
+
+def test_bench_executor_hcperf(benchmark):
+    metrics = benchmark.pedantic(
+        _simulate, args=(HCPerfScheduler,), rounds=3, iterations=1
+    )
+    assert metrics.total_finished > 0

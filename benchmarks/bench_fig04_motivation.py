@@ -1,0 +1,11 @@
+"""E1 — regenerates Fig. 4 (motivation: fixed priority vs HCPerf)."""
+
+from repro.experiments import fig04_motivation
+
+
+def test_bench_fig04_motivation(once):
+    result = once(fig04_motivation.run, seed=1, horizon=30.0)
+    print("\n" + fig04_motivation.render(result))
+    # Paper shape: the fixed-priority vehicle collides; HCPerf does not.
+    assert result.collided("Apollo")
+    assert not result.collided("HCPerf")

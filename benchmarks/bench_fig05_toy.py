@@ -1,0 +1,10 @@
+"""E2 — regenerates Fig. 5 (adaptive vs preferred schedule)."""
+
+from repro.experiments import fig05_toy
+
+
+def test_bench_fig05_toy(benchmark):
+    result = benchmark(fig05_toy.run)
+    print("\n" + fig05_toy.render(result))
+    assert result.adaptive_commands == [7.0, 8.0, 9.0]
+    assert result.preferred_commands == [3.0, 6.0, 9.0]

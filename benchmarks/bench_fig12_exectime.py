@@ -1,0 +1,10 @@
+"""E3 — regenerates Fig. 12 (execution-time profiles)."""
+
+from repro.experiments import fig12_exectime
+
+
+def test_bench_fig12_exectime(once):
+    result = once(fig12_exectime.run, seed=0, samples=500)
+    print("\n" + fig12_exectime.render(result))
+    means = [c for _, c in result.fusion_vs_complexity]
+    assert means == sorted(means), "fusion cost grows with obstacle count"

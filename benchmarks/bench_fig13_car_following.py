@@ -1,0 +1,25 @@
+"""E4 — regenerates Fig. 13 and Tables II & III (simulated car following).
+
+Expected shape vs the paper: HCPerf lowest RMS in both tables; EDF-VD the
+best baseline; Apollo worst; baselines sustain deadline misses through the
+elevated window while HCPerf returns to zero after a brief transient.
+"""
+
+from repro.experiments import fig13_car_following
+
+
+def test_bench_fig13_tables_ii_iii(once):
+    result = once(fig13_car_following.run, seed=1, horizon=90.0)
+    print("\n" + fig13_car_following.render(result))
+
+    speed = result.speed_rms()
+    assert result.hcperf_wins()
+    assert speed["EDF-VD"] == min(v for s, v in speed.items() if s != "HCPerf")
+    assert speed["Apollo"] == max(speed.values())
+
+    dist = result.distance_rms()
+    assert dist["HCPerf"] == min(dist.values())
+
+    # Fig. 13(d): HCPerf regulates misses to ~0 inside the window.
+    hc = [m for t, m in result.miss_series()["HCPerf"] if 15.0 < t < 80.0]
+    assert sum(hc) / len(hc) < 0.01

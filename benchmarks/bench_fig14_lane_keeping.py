@@ -1,0 +1,12 @@
+"""E5 — regenerates Fig. 14 and Table IV (lane keeping on the oval loop)."""
+
+from repro.experiments import fig14_lane_keeping
+
+
+def test_bench_fig14_table_iv(once):
+    result = once(fig14_lane_keeping.run, seed=1, horizon=70.0)
+    print("\n" + fig14_lane_keeping.render(result))
+    rms = result.offset_rms()
+    assert result.hcperf_wins()
+    assert rms["EDF-VD"] < rms["EDF"]  # paper ordering among baselines
+    assert rms["Apollo"] == max(rms.values())

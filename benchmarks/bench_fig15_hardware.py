@@ -1,0 +1,17 @@
+"""E6 — regenerates Fig. 15 and Tables V & VI (hardware-testbed emulation)."""
+
+from repro.experiments import fig15_hardware
+
+
+def test_bench_fig15_tables_v_vi(once):
+    result = once(fig15_hardware.run, seed=1, horizon=20.0)
+    print("\n" + fig15_hardware.render(result))
+    assert result.hcperf_wins()
+    dist = result.distance_rms()
+    assert dist["HCPerf"] == min(dist.values())
+    # Fig. 15(d): baselines miss throughout; HCPerf returns to zero.
+    hc = [m for t, m in result.miss_series()["HCPerf"] if t > 5.0]
+    assert sum(hc) / len(hc) < 0.01
+    for scheme in ("HPF", "EDF", "EDF-VD", "Apollo"):
+        base = [m for _, m in result.miss_series()[scheme]]
+        assert sum(base) / len(base) > 0.003, scheme

@@ -1,0 +1,13 @@
+"""E7 — regenerates Fig. 17 (responsiveness vs throughput through a jam)."""
+
+from repro.experiments import fig17_responsiveness
+
+
+def test_bench_fig17_phases(once):
+    result = once(fig17_responsiveness.run, seed=1, horizon=40.0)
+    print("\n" + fig17_responsiveness.render(result))
+    assert result.error_mitigated()
+    assert result.responsive_during_jam()
+    assert result.gamma_raised_during_jam()
+    # Throughput is the sacrificed quantity during the jam.
+    assert result.phase("during").throughput < result.phase("before").throughput

@@ -1,0 +1,15 @@
+"""E8 — regenerates Fig. 18 (External Coordinator ablation)."""
+
+from repro.experiments import fig18_ablation
+
+
+def test_bench_fig18_ablation(once):
+    result = once(fig18_ablation.run, seed=1, horizon=90.0)
+    print("\n" + fig18_ablation.render(result))
+    assert result.external_helps()
+    # Internal-only keeps a low persistent miss ratio (paper Fig. 18(b)).
+    assert 0.0 < result.steady_miss_ratio()["Internal only"] < 0.2
+    # The full version also tracks better.
+    assert (
+        result.speed_rms()["HCPerf (full)"] <= result.speed_rms()["Internal only"]
+    )

@@ -1,0 +1,23 @@
+"""Robustness bench: the Table II headline across several seeds.
+
+The paper reports one run per table; this bench repeats the Fig. 13
+comparison over independent seeds and asserts the statistical form of the
+claim: HCPerf has the lowest mean speed-error RMS and wins the large
+majority of seeds.
+"""
+
+from repro.experiments.multi_seed import render, run_multi_seed
+from repro.workloads import fig13_car_following
+
+
+def test_bench_table_ii_across_seeds(once):
+    result = once(
+        run_multi_seed,
+        lambda: fig13_car_following(horizon=40.0),
+        metric=lambda r: r.speed_error_rms(),
+        metric_name="speed-error RMS (m/s)",
+        seeds=range(3),
+    )
+    print("\n" + render(result))
+    assert result.best_scheme_by_mean() == "HCPerf"
+    assert result.win_ratio("HCPerf") >= 2 / 3

@@ -1,0 +1,23 @@
+"""Sensitivity bench: HCPerf's advantage vs overload depth.
+
+Sweeps the elevated fusion cost (the Fig. 13 lever) and asserts the
+crossover structure: the deeper the overload, the larger HCPerf's tracking
+advantage over the best baseline.
+"""
+
+from repro.experiments import sweep
+
+
+def test_bench_fusion_cost_sweep(once):
+    result = once(
+        sweep.run_fusion_sweep,
+        elevations_ms=(20.0, 35.0, 50.0),
+        horizon=40.0,
+        seed=1,
+    )
+    print("\n" + sweep.render(result))
+    assert result.advantage_grows()
+    # At the no-elevation point everyone is close (within 20%).
+    flat = result.points[0]
+    hc = flat.speed_rms["HCPerf"]
+    assert all(v <= hc * 1.3 for v in flat.speed_rms.values())

@@ -1,0 +1,25 @@
+"""Benchmark configuration.
+
+Every bench regenerates one of the paper's tables/figures (DESIGN.md §5) and
+prints it; run with ``pytest benchmarks/ --benchmark-only -s`` to see the
+reproduced artifacts alongside the timings.
+
+Simulation benches run one round (they are deterministic end-to-end
+experiments, not micro-kernels); micro-benches (Hungarian, coordination
+step) use normal multi-round timing.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive deterministic experiment with one round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

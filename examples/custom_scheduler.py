@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Plugging a custom scheduling policy into the framework.
+
+Implements Least-Laxity-First (LLF) — rank jobs by remaining slack — as a
+~15-line Scheduler subclass, runs it against EDF and HCPerf on the Fig. 13
+scenario, and prints the comparison.  Use this as the template for your own
+policies.
+
+Run:  python examples/custom_scheduler.py
+"""
+
+from repro.analysis import format_comparison
+from repro.experiments.runner import run_scenario
+from repro.rt import Job
+from repro.schedulers import Scheduler, SystemView
+from repro.workloads import fig13_car_following
+
+
+class LeastLaxityFirst(Scheduler):
+    """Dynamic-priority baseline: smallest slack-to-latest-start first.
+
+    Uses the observed execution time (EWMA) like HCPerf's scheduling
+    deadline, but without the γ-weighted static priority or any coordination.
+    """
+
+    name = "LLF"
+    drop_expired = True  # laxity-aware schedulers know when a job is doomed
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        c_est = view.observer.estimate(job.task.name, job.exec_time)
+        return job.absolute_deadline - c_est - now
+
+
+def main() -> None:
+    print(__doc__)
+    horizon = 40.0
+    results = {}
+    for scheduler in ("EDF", LeastLaxityFirst(), "HCPerf"):
+        scenario = fig13_car_following(horizon=horizon)
+        r = run_scenario(scenario, scheduler, seed=1)
+        results[r.scheduler] = r
+
+    print(format_comparison(
+        "Speed tracking error under the custom policy",
+        "RMS (m/s)",
+        {s: r.speed_error_rms() for s, r in results.items()},
+    ))
+    print()
+    for scheme, r in results.items():
+        print(
+            f"  {scheme:8s} miss={r.overall_miss_ratio():6.3f} "
+            f"cmds/s={r.control_throughput():5.1f}"
+        )
+    print(
+        "\nLLF behaves like HCPerf's γ=0 mode: deadline-aware but "
+        "performance-blind.\nIt beats EDF under overload (it drops doomed "
+        "jobs) yet cannot trade\nresponsiveness against throughput the way "
+        "the full coordinator does."
+    )
+
+
+if __name__ == "__main__":
+    main()

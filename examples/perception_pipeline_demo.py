@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Run the *actual* perception pipeline (not its execution-time model).
+
+Simulates a growing traffic queue, feeds synthetic camera/LiDAR frames
+through Hungarian fusion → Kalman tracking → prediction → planning → PID
+control, and prints per-stage wall-clock times — watch the fusion stage's
+cubic growth as the obstacle count ramps, the §II effect that motivates
+HCPerf.
+
+Run:  python examples/perception_pipeline_demo.py
+"""
+
+from repro.perception import PerceptionPipeline, SceneGenerator, ramp_timeline
+
+
+def main() -> None:
+    print(__doc__)
+    timeline = ramp_timeline(n_base=5, n_peak=60, t_start=1.0, t_ramp=4.0)
+    generator = SceneGenerator(timeline, region=60.0, speed_scale=2.0, seed=0)
+    pipeline = PerceptionPipeline()
+
+    print(f"{'t':>5s} {'obst':>5s} {'tracks':>6s} {'fusion ms':>9s} "
+          f"{'total ms':>9s} {'target v':>8s} {'accel':>7s}")
+    ego_speed = 12.0
+    for k in range(0, 55, 5):
+        t = k * 0.1
+        scene = generator.at(t)
+        frame = pipeline.process(scene, ego_speed=ego_speed)
+        total_ms = sum(frame.stage_seconds.values()) * 1000
+        print(
+            f"{t:5.1f} {scene.complexity:5d} {frame.n_tracks:6d} "
+            f"{frame.stage_seconds['fusion'] * 1000:9.3f} {total_ms:9.3f} "
+            f"{frame.plan.target_speed:8.2f} {frame.accel_command:+7.2f}"
+        )
+    print(
+        "\nThe fusion column grows super-linearly with the obstacle count "
+        "(Hungarian matching is O(n³))\nwhile every other stage stays ~flat — "
+        "exactly the execution-time variance the scheduler must absorb."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule a small AD task graph under HCPerf vs EDF.
+
+Builds a five-task sensing→fusion→planning→control graph whose fusion cost
+doubles mid-run, co-simulates a car-following plant, and prints how the two
+policies cope.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.runner import run_scenario
+from repro.rt import SimConfig, StepExecTime, TaskGraph, TaskSpec, UniformExecTime
+from repro.vehicle import ACCController, CarFollowingPlant, LongitudinalDynamics, SineSpeed
+from repro.workloads import Scenario
+
+
+def build_graph() -> TaskGraph:
+    """camera+lidar -> fusion -> planning -> control, fusion cost steps up."""
+    g = TaskGraph()
+    g.add_task(TaskSpec("camera", priority=4, relative_deadline=0.05,
+                        exec_model=UniformExecTime(0.001, 0.002),
+                        rate=40.0, rate_range=(20.0, 60.0)))
+    g.add_task(TaskSpec("lidar", priority=4, relative_deadline=0.05,
+                        exec_model=UniformExecTime(0.001, 0.002),
+                        rate=40.0, rate_range=(20.0, 60.0)))
+    g.add_task(TaskSpec("fusion", priority=5, relative_deadline=0.08,
+                        exec_model=StepExecTime(
+                            normal=UniformExecTime(0.018, 0.022),
+                            elevated=UniformExecTime(0.036, 0.044),
+                            t_on=10.0, t_off=25.0)))
+    g.add_task(TaskSpec("planning", priority=2, relative_deadline=0.06,
+                        exec_model=UniformExecTime(0.002, 0.004)))
+    g.add_task(TaskSpec("control", priority=1, relative_deadline=0.05,
+                        exec_model=UniformExecTime(0.001, 0.002)))
+    g.add_edge("camera", "fusion")
+    g.add_edge("lidar", "fusion")
+    g.add_edge("fusion", "planning")
+    g.add_edge("planning", "control")
+    g.validate()
+    return g
+
+
+def make_scenario(horizon: float = 35.0) -> Scenario:
+    return Scenario(
+        name="quickstart",
+        kind="car_following",
+        graph_factory=build_graph,
+        plant_factory=lambda seed: CarFollowingPlant(
+            lead_profile=SineSpeed(lo=10.0, hi=16.0, period=7.0),
+            controller=ACCController(k_speed=6.0, k_gap=0.4),
+            dynamics=LongitudinalDynamics(max_accel=5.0, max_brake=7.0),
+            initial_gap=25.0,
+        ),
+        sim=SimConfig(n_processors=1, horizon=horizon, coordination_period=0.5),
+        description="Five-task graph; fusion 20→40 ms during t ∈ [10, 25) s.",
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    print(f"{'scheme':8s} {'speed RMS':>10s} {'miss ratio':>11s} {'commands/s':>11s}")
+    for scheme in ("EDF", "HCPerf"):
+        result = run_scenario(make_scenario(), scheme, seed=0)
+        print(
+            f"{scheme:8s} {result.speed_error_rms():10.3f} "
+            f"{result.overall_miss_ratio():11.3f} {result.control_throughput():11.1f}"
+        )
+    print(
+        "\nHCPerf's external coordinator retunes the sensor rates when the "
+        "fusion cost doubles,\nso its deadline misses stay near zero and the "
+        "control stream keeps flowing."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""HCPerf reproduction — performance-directed hierarchical coordination for
+autonomous vehicles (Ma, Li, Wang, Wang & Xu, ICDCS 2023).
+
+Package map
+-----------
+``repro.core``
+    The paper's contribution: Model-Free Control performance-directed
+    controller (ADE + MFC), the dynamic-priority scheduler
+    (``P_i = γ·p_i + d_i`` with the Eq. 11 γ_max search) and the Task Rate
+    Adapter, tied together by :class:`~repro.core.coordinator.HierarchicalCoordinator`.
+``repro.rt``
+    Real-time substrate: DAG task model, execution-time models and the
+    discrete-event multiprocessor executor.
+``repro.schedulers``
+    The five evaluated policies: HPF, EDF, EDF-VD, Apollo, HCPerf.
+``repro.vehicle``
+    Vehicle plants (car following, lane keeping), lead-car profiles,
+    noise/lag models.
+``repro.perception``
+    A runnable synthetic AD pipeline (Hungarian fusion, Kalman tracking,
+    prediction, planning, PID control).
+``repro.workloads``
+    The Fig. 2 / Fig. 11 task-graph profiles and scenario scripts.
+``repro.experiments``
+    One module per paper table/figure; see DESIGN.md §5.
+
+Quickstart
+----------
+>>> from repro import run_scenario, fig13_car_following
+>>> result = run_scenario(fig13_car_following(horizon=20.0), "HCPerf", seed=0)
+>>> result.overall_miss_ratio() <= 0.05
+True
+"""
+
+from .core import (
+    AlgebraicDifferentiator,
+    DynamicPriorityPolicy,
+    HCPerfConfig,
+    HierarchicalCoordinator,
+    ModelFreeController,
+    TaskRateAdapter,
+)
+from .experiments.runner import (
+    DEFAULT_SCHEMES,
+    RunResult,
+    compare_schedulers,
+    run_scenario,
+)
+from .rt import RTExecutor, SimConfig, TaskGraph, TaskSpec
+from .schedulers import SCHEDULERS, Scheduler, make_scheduler
+from .workloads import (
+    SCENARIOS,
+    Scenario,
+    fig13_car_following,
+    full_task_graph,
+    hardware_car_following,
+    lane_keeping_loop,
+    motivation_graph,
+    motivation_red_light,
+    traffic_jam_responsiveness,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgebraicDifferentiator",
+    "DynamicPriorityPolicy",
+    "HCPerfConfig",
+    "HierarchicalCoordinator",
+    "ModelFreeController",
+    "TaskRateAdapter",
+    "DEFAULT_SCHEMES",
+    "RunResult",
+    "compare_schedulers",
+    "run_scenario",
+    "RTExecutor",
+    "SimConfig",
+    "TaskGraph",
+    "TaskSpec",
+    "SCHEDULERS",
+    "Scheduler",
+    "make_scheduler",
+    "SCENARIOS",
+    "Scenario",
+    "fig13_car_following",
+    "full_task_graph",
+    "hardware_car_following",
+    "lane_keeping_loop",
+    "motivation_graph",
+    "motivation_red_light",
+    "traffic_jam_responsiveness",
+    "__version__",
+]

@@ -1,0 +1,85 @@
+"""ASCII line charts for figure series.
+
+Terminal-grade rendering of the paper's figure series (speed traces,
+miss-ratio timelines, tracking error) with axes and multi-series overlay —
+no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["line_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def line_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 72,
+    height: int = 16,
+    y_label: str = "",
+) -> str:
+    """Render one or more ``(t, value)`` series as an ASCII chart.
+
+    Each series gets its own marker; later series overwrite earlier ones on
+    collisions.  Returns a string with a title row, the plot grid, axis
+    ticks and a legend.
+
+    >>> art = line_chart({"ramp": [(0, 0.0), (1, 1.0)]}, width=20, height=5)
+    >>> "ramp" in art
+    True
+    """
+    if width < 20 or height < 4:
+        raise ValueError("width must be >= 20 and height >= 4")
+    named = {name: list(points) for name, points in series.items() if points}
+    if not named:
+        return f"{title}\n(no data)"
+
+    t_min = min(p[0] for pts in named.values() for p in pts)
+    t_max = max(p[0] for pts in named.values() for p in pts)
+    v_min = min(p[1] for pts in named.values() for p in pts)
+    v_max = max(p[1] for pts in named.values() for p in pts)
+    if t_max == t_min:
+        t_max = t_min + 1.0
+    if v_max == v_min:
+        v_max = v_min + 1.0
+        v_min = v_min - 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(t: float, v: float, mark: str) -> None:
+        col = int((t - t_min) / (t_max - t_min) * (width - 1))
+        row = int((v_max - v) / (v_max - v_min) * (height - 1))
+        grid[max(0, min(height - 1, row))][max(0, min(width - 1, col))] = mark
+
+    legend_parts = []
+    for idx, (name, points) in enumerate(named.items()):
+        mark = _MARKERS[idx % len(_MARKERS)]
+        legend_parts.append(f"{mark}={name}")
+        for t, v in points:
+            place(t, v, mark)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_w = 9
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{v_max:8.3g} "
+        elif row_idx == height - 1:
+            label = f"{v_min:8.3g} "
+        elif row_idx == height // 2:
+            label = f"{(v_min + v_max) / 2:8.3g} "
+        else:
+            label = " " * label_w
+        lines.append(label + "|" + "".join(row))
+    lines.append(" " * label_w + "+" + "-" * width)
+    axis = f"{t_min:<10.4g}" + " " * max(0, width - 20) + f"{t_max:>10.4g}"
+    lines.append(" " * (label_w + 1) + axis)
+    footer = "  ".join(legend_parts)
+    if y_label:
+        footer = f"[{y_label}]  " + footer
+    lines.append(footer)
+    return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""Passenger discomfort metric.
+
+The paper (§VII-C, citing the comfort standards work [5]) uses command
+throughput as the lever for comfort: more frequent commands avoid abrupt
+acceleration/deceleration.  The observable consequence on the trajectory is
+**jerk** — the standard proxy in the comfort literature — so we quantify
+discomfort from the follower's acceleration series as
+
+* RMS jerk (m/s³), and
+* the fraction of time the jerk magnitude exceeds a comfort threshold
+  (2 m/s³ is the usual "noticeable" bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .stats import rms
+
+__all__ = ["DiscomfortReport", "jerk_series", "discomfort"]
+
+#: Jerk magnitude above which passengers perceive the ride as abrupt (m/s³).
+COMFORT_JERK_THRESHOLD = 2.0
+
+
+@dataclass(frozen=True)
+class DiscomfortReport:
+    """Summary of ride discomfort over a run (higher = worse)."""
+
+    rms_jerk: float
+    exceedance_ratio: float  # fraction of samples above the comfort bound
+    peak_jerk: float
+
+    @property
+    def score(self) -> float:
+        """Scalar discomfort index combining magnitude and exceedance."""
+        return self.rms_jerk * (1.0 + self.exceedance_ratio)
+
+
+def jerk_series(accel_series: Sequence[Tuple[float, float]]) -> List[Tuple[float, float]]:
+    """Finite-difference jerk from a ``(t, accel)`` series."""
+    out: List[Tuple[float, float]] = []
+    for (t0, a0), (t1, a1) in zip(accel_series, accel_series[1:]):
+        dt = t1 - t0
+        if dt <= 0:
+            continue
+        out.append((t1, (a1 - a0) / dt))
+    return out
+
+
+def discomfort(
+    accel_series: Sequence[Tuple[float, float]],
+    threshold: float = COMFORT_JERK_THRESHOLD,
+) -> DiscomfortReport:
+    """Discomfort report from a follower acceleration trace."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    jerks = jerk_series(accel_series)
+    if not jerks:
+        return DiscomfortReport(rms_jerk=0.0, exceedance_ratio=0.0, peak_jerk=0.0)
+    magnitudes = [abs(j) for _, j in jerks]
+    exceed = sum(1 for m in magnitudes if m > threshold) / len(magnitudes)
+    return DiscomfortReport(
+        rms_jerk=rms(magnitudes),
+        exceedance_ratio=exceed,
+        peak_jerk=max(magnitudes),
+    )

@@ -1,0 +1,105 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+The benchmark harness prints the same rows the paper reports; these helpers
+keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "sparkline", "format_comparison"]
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width table with a title rule, e.g. the paper's Table II."""
+    headers = [str(c) for c in columns]
+    body = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match column count")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_series(
+    title: str,
+    series: Sequence[Tuple[float, float]],
+    max_points: int = 20,
+    value_label: str = "value",
+) -> str:
+    """Compact dump of a ``(t, value)`` series, decimated to ``max_points``."""
+    if max_points < 2:
+        raise ValueError("max_points must be >= 2")
+    n = len(series)
+    if n == 0:
+        return f"{title}: (empty)"
+    stride = max(1, n // max_points)
+    picked = list(series[::stride])
+    if picked[-1] != series[-1]:
+        picked.append(series[-1])
+    lines = [f"{title} ({n} samples)"]
+    for t, v in picked:
+        lines.append(f"  t={t:8.2f}s  {value_label}={v:+.4f}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line unicode sparkline of a value sequence."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    n = len(values)
+    stride = max(1, n // width)
+    sampled = values[::stride]
+    lo, hi = min(sampled), max(sampled)
+    span = hi - lo
+    if span == 0:
+        return blocks[0] * len(sampled)
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled)
+
+
+def format_comparison(
+    title: str,
+    metric_label: str,
+    results: Dict[str, float],
+    best: str = "min",
+    paper_values: Optional[Dict[str, float]] = None,
+) -> str:
+    """Scheduler-comparison table with the winner marked.
+
+    ``paper_values`` adds a "paper" column so EXPERIMENTS.md can record
+    measured-vs-published side by side.
+    """
+    if best not in ("min", "max"):
+        raise ValueError("best must be 'min' or 'max'")
+    pick = min if best == "min" else max
+    winner = pick(results, key=results.get) if results else None
+    columns = ["scheme", metric_label]
+    if paper_values is not None:
+        columns.append(f"{metric_label} (paper)")
+    rows: List[List[object]] = []
+    for name, value in results.items():
+        row: List[object] = [name + (" *" if name == winner else ""), value]
+        if paper_values is not None:
+            row.append(paper_values.get(name, float("nan")))
+        rows.append(row)
+    return format_table(title, columns, rows)

@@ -1,0 +1,85 @@
+"""Statistics helpers used by experiments and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "rms",
+    "rms_series",
+    "mean",
+    "percentile",
+    "clip_series",
+    "resample_series",
+]
+
+
+def rms(values: Iterable[float]) -> float:
+    """Root-mean-square of a sequence; 0.0 for an empty input."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return math.sqrt(sum(v * v for v in data) / len(data))
+
+
+def rms_series(series: Sequence[Tuple[float, float]]) -> float:
+    """RMS of the value column of a ``(t, value)`` series."""
+    return rms(v for _, v in series)
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input."""
+    data = list(values)
+    if not data:
+        return 0.0
+    return sum(data) / len(data)
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolation percentile ``q ∈ [0, 100]``; 0.0 when empty."""
+    if not (0.0 <= q <= 100.0):
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if not data:
+        return 0.0
+    if len(data) == 1:
+        return data[0]
+    pos = (len(data) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(data) - 1)
+    frac = pos - lo
+    return data[lo] + frac * (data[hi] - data[lo])
+
+
+def clip_series(
+    series: Sequence[Tuple[float, float]], t_min: float, t_max: float
+) -> List[Tuple[float, float]]:
+    """Subset of a ``(t, value)`` series with ``t_min <= t <= t_max``."""
+    if t_max < t_min:
+        raise ValueError("t_max must be >= t_min")
+    return [(t, v) for t, v in series if t_min <= t <= t_max]
+
+
+def resample_series(
+    series: Sequence[Tuple[float, float]], dt: float
+) -> List[Tuple[float, float]]:
+    """Zero-order-hold resampling of a ``(t, value)`` series onto a grid.
+
+    Used to compare series recorded at different cadences (e.g. plant traces
+    vs. window metrics).
+    """
+    if dt <= 0:
+        raise ValueError("dt must be positive")
+    if not series:
+        return []
+    out: List[Tuple[float, float]] = []
+    t0, t_end = series[0][0], series[-1][0]
+    idx = 0
+    t = t0
+    while t <= t_end + 1e-12:
+        while idx + 1 < len(series) and series[idx + 1][0] <= t:
+            idx += 1
+        out.append((t, series[idx][1]))
+        t += dt
+    return out

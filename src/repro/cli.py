@@ -1,0 +1,185 @@
+"""Command-line front-end.
+
+Two modes:
+
+* ``hcperf <experiment-id> [--seed N]`` — regenerate one of the paper's
+  tables/figures (or ``all``; default ``list`` shows what exists);
+* ``hcperf run <scenario> <scheduler> [--seed N] [--horizon S] [--json]`` —
+  run one scenario under one policy and print (or JSON-dump) the summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .experiments import EXPERIMENTS
+
+__all__ = ["main", "build_parser", "build_run_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hcperf",
+        description=(
+            "HCPerf reproduction — run the paper's experiments "
+            "(ICDCS 2023: performance-directed hierarchical coordination)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS) + ["all", "list"],
+        default="list",
+        help="experiment id (or 'all' / 'list')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="run seed (default 0)")
+    return parser
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    from .schedulers import SCHEDULERS
+    from .workloads import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="hcperf run",
+        description="Run one scenario under one scheduling policy.",
+    )
+    parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    parser.add_argument("scheduler", choices=sorted(SCHEDULERS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--horizon", type=float, default=None, help="override the simulated horizon (s)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the run summary as JSON"
+    )
+    parser.add_argument(
+        "--gantt",
+        action="store_true",
+        help="print an ASCII Gantt chart of the first simulated second",
+    )
+    parser.add_argument(
+        "--chains",
+        action="store_true",
+        help="print the end-to-end chain latency budget",
+    )
+    return parser
+
+
+def _list_experiments() -> str:
+    from .workloads import SCENARIOS
+
+    lines = ["Available experiments:"]
+    for exp_id, module in sorted(EXPERIMENTS.items()):
+        doc = (module.__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        lines.append(f"  {exp_id:24s} {summary}")
+    lines.append("  all                      run every experiment")
+    lines.append("")
+    lines.append(
+        "Static check:     hcperf validate {"
+        + ",".join(sorted(SCENARIOS))
+        + "} [--processors N] [--complexity X]"
+    )
+    lines.append(
+        "Scenario runner:  hcperf run {"
+        + ",".join(sorted(SCENARIOS))
+        + "} {HPF,EDF,EDF-VD,Apollo,HCPerf} [--seed N] [--horizon S] [--json]"
+    )
+    return "\n".join(lines)
+
+
+def _run_scenario_command(argv: List[str]) -> int:
+    from .experiments.runner import run_scenario
+    from .workloads import SCENARIOS
+
+    args = build_run_parser().parse_args(argv)
+    factory = SCENARIOS[args.scenario]
+    scenario = factory(horizon=args.horizon) if args.horizon else factory()
+    tracer = None
+    if args.gantt or args.chains:
+        from .rt.trace import TraceRecorder
+
+        tracer = TraceRecorder()
+    graph = scenario.graph_factory() if args.chains else None
+    result = run_scenario(scenario, args.scheduler, seed=args.seed, tracer=tracer)
+    summary = result.to_dict()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"scenario   : {summary['scenario']}")
+    print(f"scheduler  : {summary['scheduler']} (seed {summary['seed']})")
+    print(f"horizon    : {summary['horizon']:.1f} s")
+    print(f"miss ratio : {summary['overall_miss_ratio']:.4f}")
+    print(f"commands/s : {summary['control_throughput']:.1f}")
+    print(f"ctl resp   : {summary['control_response_mean'] * 1000:.2f} ms")
+    for key in ("speed_error_rms", "distance_error_rms", "lateral_offset_rms"):
+        if key in summary:
+            print(f"{key:11s}: {summary[key]:.4f}")
+    if summary.get("collided"):
+        print("collision  : YES")
+    if summary.get("departed"):
+        print("lane exit  : YES")
+    if args.gantt and tracer is not None:
+        from .rt.trace import render_gantt
+
+        t_hi = min(1.0, summary["horizon"])
+        print()
+        print(render_gantt(tracer, 0.0, t_hi, width=100))
+    if args.chains and tracer is not None and graph is not None:
+        from .analysis.chains import chain_budget, render_chain_budget
+
+        print()
+        print(render_chain_budget(chain_budget(graph, tracer)))
+    return 0
+
+
+def _validate_command(argv: List[str]) -> int:
+    from .workloads import SCENARIOS, render_report, validate_platform
+
+    parser = argparse.ArgumentParser(
+        prog="hcperf validate",
+        description="Static schedulability check of a scenario's task graph.",
+    )
+    parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    parser.add_argument("--processors", type=int, default=None,
+                        help="override the scenario's processor count")
+    parser.add_argument("--complexity", type=float, default=0.0,
+                        help="scene complexity operating point (obstacle count)")
+    args = parser.parse_args(argv)
+    scenario = SCENARIOS[args.scenario]()
+    n_proc = args.processors or scenario.sim.n_processors
+    report = validate_platform(
+        scenario.graph_factory(), n_proc, scene_complexity=args.complexity
+    )
+    print(render_report(report))
+    return 0 if report.ok else 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "run":
+        return _run_scenario_command(argv[1:])
+    if argv and argv[0] == "validate":
+        return _validate_command(argv[1:])
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print(_list_experiments())
+        return 0
+    targets = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        module = EXPERIMENTS[exp_id]
+        print(f"\n===== {exp_id} =====")
+        try:
+            module.main(seed=args.seed)
+        except TypeError:
+            # fig05_toy / parameter-free experiments take no seed.
+            module.main()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

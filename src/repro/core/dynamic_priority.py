@@ -1,0 +1,200 @@
+"""Dynamic Priority Scheduler core (paper §V).
+
+Every ready job gets a *dynamic scheduling priority*
+
+    P_i = γ · p_i + d_i                                        (Eq. 10)
+
+where ``p_i`` is the configured priority and ``d_i`` the scheduling deadline
+``D_i − c_i`` (Eq. 9) — realized here as the absolute latest-start slack
+``release_i + D_i − c_i − now`` so that jobs from different control cycles
+are comparable (DESIGN.md §2).  Small γ ≈ deadline-driven (EDF-like); large
+γ ≈ priority-driven (HPF-like).
+
+γ is bounded by the largest value for which the ready queue remains
+schedulable under the workload-conservation test of Eq. (11):
+
+    c_j + ΣT_p/n_p + Σ_{P_i < P_j} c_i / n_p  <  D_j  (remaining)
+
+The ordering induced by ``P_i`` changes at discrete γ breakpoints, so
+``γ_max`` is found by scanning a descending grid (linear cost, matching the
+paper's <5 ms overhead claim).  The nominal parameter ``u`` from the MFC
+controller is then clamped into ``[0, γ_max]`` (Eq. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..rt.task import Job
+
+__all__ = ["DynamicPriorityConfig", "GammaSearchResult", "DynamicPriorityPolicy"]
+
+
+@dataclass
+class DynamicPriorityConfig:
+    """Tuning of the γ search.
+
+    Attributes
+    ----------
+    gamma_cap:
+        Upper end of the γ search grid (``γ^max`` of constraint (1b)).
+        γ multiplies the dimensionless priority ``p_i`` and is added to a
+        *seconds*-scale slack, so the meaningful range is of order
+        ``D_typical / p_spread`` — a few milliseconds of bias per priority
+        level.  The default 0.02 spans from pure deadline-driven to fully
+        priority-driven for deadlines up to ~100 ms and priorities up to 10.
+    resolution:
+        Number of grid points over ``[0, gamma_cap]``.
+    """
+
+    gamma_cap: float = 0.02
+    resolution: int = 64
+
+    def __post_init__(self) -> None:
+        if self.gamma_cap < 0:
+            raise ValueError("gamma_cap must be >= 0")
+        if self.resolution < 2:
+            raise ValueError("resolution must be >= 2")
+
+
+@dataclass
+class GammaSearchResult:
+    """Outcome of one γ_max search."""
+
+    gamma_max: Optional[float]  # None => even γ = 0 is infeasible (overload)
+    gamma: float  # the applied coefficient after Eq. (12)
+    overloaded: bool
+
+    @property
+    def feasible(self) -> bool:
+        return self.gamma_max is not None
+
+
+class DynamicPriorityPolicy:
+    """Computes dynamic priorities and the bounded coefficient γ."""
+
+    def __init__(self, config: Optional[DynamicPriorityConfig] = None) -> None:
+        self.config = config or DynamicPriorityConfig()
+
+    # ------------------------------------------------------------------
+    # Priority arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def scheduling_slack(job: Job, now: float, exec_estimate: float) -> float:
+        """Absolute form of the scheduling deadline ``d_i = D_i − c_i``.
+
+        Time remaining until the job's latest feasible start; negative when
+        the job can no longer finish on time.
+        """
+        return job.latest_start(exec_estimate) - now
+
+    def dynamic_priority(
+        self, job: Job, gamma: float, now: float, exec_estimate: float
+    ) -> float:
+        """``P_i = γ·p_i + d_i`` (Eq. 10); smaller runs first."""
+        return gamma * job.task.priority + self.scheduling_slack(job, now, exec_estimate)
+
+    # ------------------------------------------------------------------
+    # Schedulability test (Eq. 11)
+    # ------------------------------------------------------------------
+    def is_feasible(
+        self,
+        gamma: float,
+        jobs: Sequence[Job],
+        now: float,
+        exec_estimate: Callable[[Job], float],
+        busy_remaining: float,
+        n_processors: int,
+    ) -> bool:
+        """Check the Eq. (11) constraint set for a candidate γ.
+
+        ``busy_remaining`` is ``ΣT_p`` — the total remaining processing time
+        of jobs currently running; ``exec_estimate`` maps each queued job to
+        its observed execution time ``c_i``.
+        """
+        if not jobs:
+            return True
+        n_p = max(1, n_processors)
+        base = busy_remaining / n_p
+        ranked = [
+            (self.dynamic_priority(j, gamma, now, exec_estimate(j)), exec_estimate(j), j)
+            for j in jobs
+        ]
+        # Sort once by P_i: the higher-priority workload ahead of job j is a
+        # prefix sum, making the whole test O(n log n).
+        ranked.sort(key=lambda item: item[0])
+        ahead = 0.0
+        i = 0
+        n = len(ranked)
+        while i < n:
+            # Jobs with equal P_i do not count toward each other's backlog
+            # (Eq. 11 uses a strict inequality P_i < P_j).
+            j = i
+            while j < n and ranked[j][0] == ranked[i][0]:
+                j += 1
+            for k in range(i, j):
+                _, c_k, job_k = ranked[k]
+                remaining_budget = job_k.absolute_deadline - now
+                if c_k + base + ahead / n_p >= remaining_budget:
+                    return False
+            ahead += sum(ranked[k][1] for k in range(i, j))
+            i = j
+        return True
+
+    def gamma_max(
+        self,
+        jobs: Sequence[Job],
+        now: float,
+        exec_estimate: Callable[[Job], float],
+        busy_remaining: float,
+        n_processors: int,
+    ) -> Optional[float]:
+        """Largest grid γ satisfying Eq. (11), or ``None`` when overloaded.
+
+        Scans the grid from ``gamma_cap`` downwards; feasibility is *not*
+        monotone in γ in general, but taking the largest feasible grid point
+        implements the paper's "allowable range [0, γ_max]" faithfully for
+        practical queues while staying linear-time.
+        """
+        cfg = self.config
+        if not jobs:
+            return cfg.gamma_cap
+        step = cfg.gamma_cap / (cfg.resolution - 1)
+        for i in range(cfg.resolution - 1, -1, -1):
+            gamma = i * step
+            if self.is_feasible(gamma, jobs, now, exec_estimate, busy_remaining, n_processors):
+                return gamma
+        return None
+
+    # ------------------------------------------------------------------
+    # Eq. (12): map nominal u to actual γ
+    # ------------------------------------------------------------------
+    @staticmethod
+    def clamp_gamma(u: float, gamma_max: Optional[float]) -> float:
+        """Clamp the nominal parameter into ``[0, γ_max]``.
+
+        With no feasible γ (overload) the paper sets γ to zero — pure
+        deadline-driven scheduling — and defers to the external coordinator.
+        """
+        if gamma_max is None:
+            return 0.0
+        if u < 0.0:
+            return 0.0
+        if u > gamma_max:
+            return gamma_max
+        return u
+
+    def resolve(
+        self,
+        u: float,
+        jobs: Sequence[Job],
+        now: float,
+        exec_estimate: Callable[[Job], float],
+        busy_remaining: float,
+        n_processors: int,
+    ) -> GammaSearchResult:
+        """Full §V pipeline: search γ_max, clamp u, flag overload."""
+        gmax = self.gamma_max(jobs, now, exec_estimate, busy_remaining, n_processors)
+        gamma = self.clamp_gamma(u, gmax)
+        return GammaSearchResult(gamma_max=gmax, gamma=gamma, overloaded=gmax is None)

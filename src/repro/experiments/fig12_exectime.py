@@ -1,0 +1,85 @@
+"""E3 — Fig. 12: execution-time profiles of autonomous-driving tasks.
+
+The paper measures per-task execution times in different environments and
+shows four example distributions.  Here we sample each task's model across
+scene complexities and report min/mean/max plus the fusion task's cubic
+growth with the obstacle count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.report import format_table
+from ..analysis.stats import mean
+from ..rt.exectime import ExecContext
+from ..rt.taskgraph import TaskGraph
+from ..workloads.profiles import FUSION_TASK, full_task_graph, scene_coupled_fusion_model
+
+__all__ = ["EXPERIMENT_ID", "Fig12Result", "run", "render", "main"]
+
+EXPERIMENT_ID = "fig12_exectime"
+
+#: The four example tasks shown in the paper's figure.
+EXAMPLE_TASKS = (
+    FUSION_TASK,
+    "camera_object_detection",
+    "motion_planning",
+    "traffic_light_detection",
+)
+
+
+@dataclass
+class Fig12Result:
+    """Per-task execution-time sample statistics (seconds)."""
+
+    stats: Dict[str, Tuple[float, float, float]]  # name -> (min, mean, max)
+    fusion_vs_complexity: List[Tuple[float, float]]  # (n_obstacles, mean c)
+
+
+def run(seed: int = 0, samples: int = 500) -> Fig12Result:
+    """Sample every task's model; sweep fusion over obstacle counts."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    rng = random.Random(seed)
+    graph: TaskGraph = full_task_graph(fusion_model=scene_coupled_fusion_model())
+    ctx = ExecContext(now=0.0, scene_complexity=12.0)
+
+    stats: Dict[str, Tuple[float, float, float]] = {}
+    for spec in graph:
+        draws = [spec.exec_model.sample(ctx, rng) for _ in range(samples)]
+        stats[spec.name] = (min(draws), mean(draws), max(draws))
+
+    fusion = graph.task(FUSION_TASK).exec_model
+    sweep = []
+    for n in (0, 5, 10, 15, 20, 25, 30):
+        c = ExecContext(now=0.0, scene_complexity=float(n))
+        draws = [fusion.sample(c, rng) for _ in range(samples // 5 or 1)]
+        sweep.append((float(n), mean(draws)))
+    return Fig12Result(stats=stats, fusion_vs_complexity=sweep)
+
+
+def render(result: Fig12Result) -> str:
+    rows = []
+    for name in EXAMPLE_TASKS:
+        lo, mu, hi = result.stats[name]
+        rows.append([name, lo * 1000, mu * 1000, hi * 1000])
+    table = format_table(
+        "Fig. 12 — execution-time profiles (ms), example tasks",
+        ["task", "min", "mean", "max"],
+        rows,
+    )
+    sweep = format_table(
+        "Configurable sensor fusion vs obstacle count (the O(n³) driver)",
+        ["obstacles", "mean exec time (ms)"],
+        [[int(n), c * 1000] for n, c in result.fusion_vs_complexity],
+    )
+    return table + "\n\n" + sweep
+
+
+def main(seed: int = 0) -> str:  # pragma: no cover - CLI glue
+    out = render(run(seed=seed))
+    print(out)
+    return out

@@ -1,0 +1,124 @@
+"""E4 — Fig. 13 and Tables II & III: simulated car following.
+
+Lead speed follows a sine (period 7 s, bounded [10, 20] m/s); at t = 10 s
+the configurable sensor fusion execution time rises from 20 ms to 40 ms and
+recovers at t = 80 s.  All five schemes run on identical seeds; the module
+reports the speed/distance tracking-error RMS tables and the deadline
+miss-ratio series of Fig. 13(d).
+
+Paper values, for side-by-side comparison in EXPERIMENTS.md:
+Table II (speed RMS, m/s): HPF 1.02, EDF 0.99, EDF-VD 0.78, Apollo 1.28,
+HCPerf 0.55.  Table III (distance RMS, m): 12.24 / 12.22 / 12.07 / 12.31 /
+11.27.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.report import format_comparison, sparkline
+from ..workloads.scenarios import fig13_car_following
+from .runner import DEFAULT_SCHEMES, RunResult, compare_schedulers
+
+__all__ = [
+    "EXPERIMENT_ID",
+    "PAPER_TABLE_II",
+    "PAPER_TABLE_III",
+    "Fig13Result",
+    "run",
+    "render",
+    "main",
+]
+
+EXPERIMENT_ID = "fig13_car_following"
+
+PAPER_TABLE_II = {"HPF": 1.02, "EDF": 0.99, "EDF-VD": 0.78, "Apollo": 1.28, "HCPerf": 0.55}
+PAPER_TABLE_III = {"HPF": 12.24, "EDF": 12.22, "EDF-VD": 12.07, "Apollo": 12.31, "HCPerf": 11.27}
+
+
+@dataclass
+class Fig13Result:
+    results: Dict[str, RunResult]
+
+    def speed_rms(self) -> Dict[str, float]:
+        """Table II — RMS of the speed tracking error."""
+        return {s: r.speed_error_rms() for s, r in self.results.items()}
+
+    def distance_rms(self) -> Dict[str, float]:
+        """Table III — RMS of the distance (gap-oscillation) error."""
+        return {s: r.distance_error_rms() for s, r in self.results.items()}
+
+    def miss_series(self) -> Dict[str, List[Tuple[float, float]]]:
+        """Fig. 13(d) — per-window deadline miss ratio."""
+        return {s: r.miss_ratio_series() for s, r in self.results.items()}
+
+    def throughput(self) -> Dict[str, float]:
+        return {s: r.control_throughput() for s, r in self.results.items()}
+
+    def hcperf_wins(self) -> bool:
+        """The headline claim: HCPerf has the lowest speed-error RMS."""
+        rms = self.speed_rms()
+        return min(rms, key=rms.get) == "HCPerf"
+
+
+def run(seed: int = 0, horizon: float = 90.0) -> Fig13Result:
+    return Fig13Result(
+        results=compare_schedulers(
+            lambda: fig13_car_following(horizon=horizon),
+            schemes=DEFAULT_SCHEMES,
+            seed=seed,
+        )
+    )
+
+
+def render(result: Fig13Result) -> str:
+    parts = [
+        format_comparison(
+            "Table II — RMS of speed tracking error (m/s)",
+            "RMS (m/s)",
+            result.speed_rms(),
+            paper_values=PAPER_TABLE_II,
+        ),
+        format_comparison(
+            "Table III — RMS of distance tracking error (m)",
+            "RMS (m)",
+            result.distance_rms(),
+            paper_values=PAPER_TABLE_III,
+        ),
+        "Fig. 13(d) — deadline miss ratio over time "
+        "(load elevated during t ∈ [10, 80) s):",
+    ]
+    for scheme, series in result.miss_series().items():
+        parts.append(f"  {scheme:8s} {sparkline([m for _, m in series])}")
+    parts.append(
+        "Control-command throughput (cmds/s): "
+        + ", ".join(f"{s}={v:.1f}" for s, v in result.throughput().items())
+    )
+    return "\n\n".join(parts[:2]) + "\n\n" + "\n".join(parts[2:])
+
+
+def render_charts(result: Fig13Result, schemes=("Apollo", "EDF", "HCPerf")) -> str:
+    """ASCII analogues of Figs. 13(a)/(b): speeds and speed errors."""
+    from ..analysis.ascii_plot import line_chart
+
+    hc = result.results["HCPerf"].plant
+    decimate = max(1, len(hc.times()) // 300)
+    speeds = {"lead": [(t, vl) for t, vl, _ in hc.speed_series()][::decimate]}
+    errors = {}
+    for scheme in schemes:
+        plant = result.results[scheme].plant
+        speeds[scheme] = [(t, vf) for t, _, vf in plant.speed_series()][::decimate]
+        errors[scheme] = plant.speed_error_series()[::decimate]
+    return (
+        line_chart(speeds, title="Fig. 13(a) — lead vs follower speeds", y_label="m/s")
+        + "\n\n"
+        + line_chart(errors, title="Fig. 13(b) — speed tracking error", y_label="m/s")
+    )
+
+
+def main(seed: int = 0) -> str:  # pragma: no cover - CLI glue
+    result = run(seed=seed)
+    out = render(result) + "\n\n" + render_charts(result)
+    print(out)
+    return out

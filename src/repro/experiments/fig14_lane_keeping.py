@@ -1,0 +1,95 @@
+"""E5 — Fig. 14 and Table IV: lane keeping on the oval loop.
+
+The vehicle drives the closed oval clockwise at a fixed 5 m/s; performance
+is the lateral offset from the lane centerline.  Offsets are ~0 on the
+straights and the scheme differences appear in the four turns (§VII-B2).
+
+Paper Table IV (lateral-offset RMS, m): HPF 0.093, EDF 0.075, EDF-VD 0.051,
+Apollo 0.159, HCPerf 0.027.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..analysis.report import format_comparison, format_table
+from ..analysis.stats import rms
+from ..workloads.scenarios import lane_keeping_loop
+from .runner import DEFAULT_SCHEMES, RunResult, compare_schedulers
+
+__all__ = [
+    "EXPERIMENT_ID",
+    "PAPER_TABLE_IV",
+    "Fig14Result",
+    "run",
+    "render",
+    "main",
+]
+
+EXPERIMENT_ID = "fig14_lane_keeping"
+
+PAPER_TABLE_IV = {
+    "HPF": 0.093, "EDF": 0.075, "EDF-VD": 0.051, "Apollo": 0.159, "HCPerf": 0.027,
+}
+
+
+@dataclass
+class Fig14Result:
+    results: Dict[str, RunResult]
+
+    def offset_rms(self) -> Dict[str, float]:
+        """Table IV — RMS lateral offset."""
+        return {s: r.lateral_offset_rms() for s, r in self.results.items()}
+
+    def turn_offset_rms(self) -> Dict[str, float]:
+        """RMS restricted to the turns, where the differences live."""
+        return {
+            s: rms(r.plant.turn_offsets()) for s, r in self.results.items()
+        }
+
+    def departures(self) -> Dict[str, bool]:
+        """Schemes whose vehicle left the lane entirely."""
+        return {s: r.plant.departed for s, r in self.results.items()}
+
+    def offset_series(self, scheme: str) -> List[Tuple[float, float]]:
+        """Fig. 14(b) — lateral offset over time."""
+        return self.results[scheme].plant.offset_series()
+
+    def hcperf_wins(self) -> bool:
+        rms_values = self.offset_rms()
+        return min(rms_values, key=rms_values.get) == "HCPerf"
+
+
+def run(seed: int = 0, horizon: float = 70.0) -> Fig14Result:
+    return Fig14Result(
+        results=compare_schedulers(
+            lambda: lane_keeping_loop(horizon=horizon),
+            schemes=DEFAULT_SCHEMES,
+            seed=seed,
+        )
+    )
+
+
+def render(result: Fig14Result) -> str:
+    comparison = format_comparison(
+        "Table IV — RMS of lateral offset error (m)",
+        "RMS (m)",
+        result.offset_rms(),
+        paper_values=PAPER_TABLE_IV,
+    )
+    turns = format_table(
+        "Lateral offset during the turns (where schemes differ, §VII-B2)",
+        ["scheme", "turn RMS (m)", "left the lane"],
+        [
+            [s, result.turn_offset_rms()[s], "yes" if result.departures()[s] else "no"]
+            for s in result.results
+        ],
+    )
+    return comparison + "\n\n" + turns
+
+
+def main(seed: int = 0) -> str:  # pragma: no cover - CLI glue
+    out = render(run(seed=seed))
+    print(out)
+    return out

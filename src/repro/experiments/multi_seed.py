@@ -1,0 +1,116 @@
+"""Multi-seed robustness harness.
+
+The paper reports single runs; this module re-runs any scenario over many
+seeds and summarizes each scheme's metric as mean ± std, plus how often
+HCPerf wins — the statistical form of the reproduction claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..analysis.report import format_table
+from ..analysis.stats import mean
+from ..workloads.scenarios import Scenario
+from .runner import DEFAULT_SCHEMES, RunResult, run_scenario
+
+__all__ = ["MetricSummary", "MultiSeedResult", "run_multi_seed", "render"]
+
+
+@dataclass
+class MetricSummary:
+    """Mean/std/min/max of one scheme's metric across seeds."""
+
+    scheme: str
+    values: List[float]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+
+    @property
+    def min(self) -> float:
+        return min(self.values)
+
+    @property
+    def max(self) -> float:
+        return max(self.values)
+
+
+@dataclass
+class MultiSeedResult:
+    metric_name: str
+    seeds: List[int]
+    summaries: Dict[str, MetricSummary]
+    wins: Dict[str, int]  # scheme -> number of seeds it had the lowest metric
+
+    def win_ratio(self, scheme: str) -> float:
+        total = sum(self.wins.values())
+        if total == 0:
+            return 0.0
+        return self.wins.get(scheme, 0) / total
+
+    def best_scheme_by_mean(self) -> str:
+        return min(self.summaries, key=lambda s: self.summaries[s].mean)
+
+
+def run_multi_seed(
+    scenario_factory: Callable[[], Scenario],
+    metric: Callable[[RunResult], float],
+    metric_name: str = "metric",
+    seeds: Sequence[int] = range(5),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+) -> MultiSeedResult:
+    """Run every (scheme, seed) pair and summarize ``metric``.
+
+    ``metric`` maps a :class:`RunResult` to a lower-is-better scalar
+    (e.g. ``lambda r: r.speed_error_rms()``).
+    """
+    seeds = list(seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    values: Dict[str, List[float]] = {s: [] for s in schemes}
+    wins: Dict[str, int] = {s: 0 for s in schemes}
+    for seed in seeds:
+        per_seed: Dict[str, float] = {}
+        for scheme in schemes:
+            result = run_scenario(scenario_factory(), scheme, seed=seed)
+            value = metric(result)
+            values[scheme].append(value)
+            per_seed[scheme] = value
+        wins[min(per_seed, key=per_seed.get)] += 1
+    return MultiSeedResult(
+        metric_name=metric_name,
+        seeds=seeds,
+        summaries={s: MetricSummary(scheme=s, values=v) for s, v in values.items()},
+        wins=wins,
+    )
+
+
+def render(result: MultiSeedResult) -> str:
+    rows = []
+    for scheme, summary in result.summaries.items():
+        rows.append(
+            [
+                scheme,
+                summary.mean,
+                summary.std,
+                summary.min,
+                summary.max,
+                f"{result.wins.get(scheme, 0)}/{len(result.seeds)}",
+            ]
+        )
+    return format_table(
+        f"{result.metric_name} across {len(result.seeds)} seeds (lower is better)",
+        ["scheme", "mean", "std", "min", "max", "wins"],
+        rows,
+    )

@@ -1,0 +1,108 @@
+"""Sensitivity sweep: how HCPerf's advantage scales with the overload depth.
+
+The paper evaluates one overload level (fusion 20 → 40 ms). This harness
+sweeps the elevated fusion cost and records each scheme's tracking RMS —
+exposing the crossover structure: at light elevation every scheme copes and
+the advantage is small; as the elevation deepens, the baselines' misses
+compound while HCPerf's rate adaptation holds, so the gap widens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..analysis.report import format_table
+from ..rt.exectime import StepExecTime
+from ..workloads.profiles import default_fusion_model, full_task_graph
+from ..workloads.scenarios import fig13_car_following
+from .runner import RunResult, run_scenario
+
+__all__ = ["SweepPoint", "FusionSweepResult", "run_fusion_sweep", "render"]
+
+
+@dataclass
+class SweepPoint:
+    """All schemes' outcomes at one elevated-fusion cost."""
+
+    elevated_ms: float
+    speed_rms: Dict[str, float]
+    miss_ratio: Dict[str, float]
+
+    def advantage(self, baseline: str = None) -> float:
+        """Baseline RMS divided by HCPerf RMS (>1 = HCPerf ahead).
+
+        ``baseline`` defaults to the best (lowest-RMS) non-HCPerf scheme in
+        this point.
+        """
+        hc = self.speed_rms["HCPerf"]
+        if baseline is None:
+            others = {s: v for s, v in self.speed_rms.items() if s != "HCPerf"}
+            baseline = min(others, key=others.get)
+        if hc == 0:
+            return float("inf")
+        return self.speed_rms[baseline] / hc
+
+
+@dataclass
+class FusionSweepResult:
+    points: List[SweepPoint]
+
+    def advantages(self, baseline: str = None) -> List[float]:
+        return [p.advantage(baseline) for p in self.points]
+
+    def advantage_grows(self, baseline: str = None) -> bool:
+        """The headline sensitivity claim: deeper overload → bigger gap."""
+        adv = self.advantages(baseline)
+        return adv[-1] > adv[0]
+
+
+def _scenario_with_elevation(elevated_s: float, horizon: float):
+    scenario = fig13_car_following(horizon=horizon)
+    scenario.graph_factory = lambda: full_task_graph(
+        fusion_model=StepExecTime(
+            normal=default_fusion_model(0.020),
+            elevated=default_fusion_model(elevated_s),
+            t_on=10.0,
+            t_off=horizon,
+        )
+    )
+    return scenario
+
+
+def run_fusion_sweep(
+    elevations_ms: Sequence[float] = (20.0, 30.0, 40.0, 50.0),
+    schemes: Sequence[str] = ("HPF", "EDF", "EDF-VD", "HCPerf"),
+    horizon: float = 40.0,
+    seed: int = 1,
+) -> FusionSweepResult:
+    """Run the car-following comparison at each elevated fusion cost."""
+    if not elevations_ms:
+        raise ValueError("need at least one elevation level")
+    points: List[SweepPoint] = []
+    for ms in elevations_ms:
+        rms: Dict[str, float] = {}
+        miss: Dict[str, float] = {}
+        for scheme in schemes:
+            scenario = _scenario_with_elevation(ms / 1000.0, horizon)
+            result = run_scenario(scenario, scheme, seed=seed)
+            rms[scheme] = result.speed_error_rms()
+            miss[scheme] = result.overall_miss_ratio()
+        points.append(SweepPoint(elevated_ms=ms, speed_rms=rms, miss_ratio=miss))
+    return FusionSweepResult(points=points)
+
+
+def render(result: FusionSweepResult) -> str:
+    schemes = list(result.points[0].speed_rms)
+    rows = []
+    for p in result.points:
+        row: List[object] = [f"{p.elevated_ms:g} ms"]
+        row.extend(p.speed_rms[s] for s in schemes)
+        row.append(f"{p.advantage():.2f}x")
+        rows.append(row)
+    return format_table(
+        "Fusion-cost sensitivity — speed RMS (m/s) per scheme, and HCPerf's "
+        "advantage over the best baseline",
+        ["elevated cost"] + schemes + ["advantage"],
+        rows,
+    )

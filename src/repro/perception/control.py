@@ -1,0 +1,73 @@
+"""Speed control (the "control" sink of the task graph).
+
+A PI controller with output clamping and conditional anti-windup turns the
+planner's target speed into the acceleration command the chassis executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["PIDConfig", "PIDController", "SpeedController"]
+
+
+@dataclass
+class PIDConfig:
+    """Gains and limits of the PI(D) law."""
+
+    kp: float = 1.0
+    ki: float = 0.0
+    kd: float = 0.0
+    out_min: float = -6.0
+    out_max: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.out_max <= self.out_min:
+            raise ValueError("out_max must exceed out_min")
+
+
+class PIDController:
+    """Textbook PID with clamping anti-windup."""
+
+    def __init__(self, config: Optional[PIDConfig] = None) -> None:
+        self.config = config or PIDConfig()
+        self._integral = 0.0
+        self._prev_error: Optional[float] = None
+        self._prev_t: Optional[float] = None
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._prev_error = None
+        self._prev_t = None
+
+    def update(self, error: float, t: float) -> float:
+        """One PID step at absolute time ``t``."""
+        cfg = self.config
+        dt = 0.0
+        if self._prev_t is not None:
+            dt = t - self._prev_t
+            if dt < 0:
+                raise ValueError("time must be monotone")
+        derivative = 0.0
+        if dt > 0 and self._prev_error is not None:
+            derivative = (error - self._prev_error) / dt
+        candidate_integral = self._integral + error * dt
+        out = cfg.kp * error + cfg.ki * candidate_integral + cfg.kd * derivative
+        if cfg.out_min <= out <= cfg.out_max:
+            self._integral = candidate_integral  # only integrate when unsaturated
+        out = min(cfg.out_max, max(cfg.out_min, out))
+        self._prev_error = error
+        self._prev_t = t
+        return out
+
+
+class SpeedController:
+    """Maps a target-speed error to an acceleration command."""
+
+    def __init__(self, config: Optional[PIDConfig] = None) -> None:
+        self.pid = PIDController(config or PIDConfig(kp=1.2, ki=0.15))
+
+    def accel_command(self, target_speed: float, current_speed: float, t: float) -> float:
+        """Acceleration command (m/s²) for one control cycle."""
+        return self.pid.update(target_speed - current_speed, t)

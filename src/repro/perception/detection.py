@@ -1,0 +1,109 @@
+"""Sensor detection simulators (camera, LiDAR).
+
+Each detector turns the ground-truth scene into a list of noisy
+:class:`Detection` measurements with per-sensor position noise and a
+miss probability — enough imperfection that fusion's data association is a
+real (non-trivial) matching problem.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .scene import Obstacle, Scene
+
+__all__ = ["Detection", "SensorDetector", "CameraDetector", "LidarDetector"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """One sensor measurement of an obstacle."""
+
+    sensor: str
+    x: float
+    y: float
+    t: float
+    truth_id: Optional[int] = None  # ground-truth link, for tests/metrics only
+
+
+class SensorDetector:
+    """Base detector: position noise + missed detections.
+
+    Parameters
+    ----------
+    name:
+        Sensor name recorded on each detection.
+    pos_sigma:
+        Std-dev of the additive position noise per axis (m).
+    miss_prob:
+        Probability an obstacle is not detected this frame.
+    max_range:
+        Detection range from the origin (ego position) in metres.
+    seed:
+        Private RNG stream.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pos_sigma: float = 0.3,
+        miss_prob: float = 0.05,
+        max_range: float = 100.0,
+        seed: int = 0,
+    ) -> None:
+        if pos_sigma < 0:
+            raise ValueError("pos_sigma must be >= 0")
+        if not (0.0 <= miss_prob < 1.0):
+            raise ValueError("miss_prob must be in [0, 1)")
+        if max_range <= 0:
+            raise ValueError("max_range must be positive")
+        self.name = name
+        self.pos_sigma = pos_sigma
+        self.miss_prob = miss_prob
+        self.max_range = max_range
+        self._rng = random.Random(seed)
+
+    def _in_range(self, obstacle: Obstacle) -> bool:
+        return obstacle.x**2 + obstacle.y**2 <= self.max_range**2
+
+    def detect(self, scene: Scene) -> List[Detection]:
+        """One sensor frame over the current scene."""
+        rng = self._rng
+        out: List[Detection] = []
+        for obstacle in scene.obstacles:
+            if not self._in_range(obstacle):
+                continue
+            if rng.random() < self.miss_prob:
+                continue
+            out.append(
+                Detection(
+                    sensor=self.name,
+                    x=obstacle.x + rng.gauss(0.0, self.pos_sigma),
+                    y=obstacle.y + rng.gauss(0.0, self.pos_sigma),
+                    t=scene.t,
+                    truth_id=obstacle.obstacle_id,
+                )
+            )
+        return out
+
+
+class CameraDetector(SensorDetector):
+    """Camera: noisier position, slightly higher miss rate."""
+
+    def __init__(self, seed: int = 0, **kwargs) -> None:
+        kwargs.setdefault("pos_sigma", 0.5)
+        kwargs.setdefault("miss_prob", 0.08)
+        kwargs.setdefault("max_range", 80.0)
+        super().__init__("camera", seed=seed, **kwargs)
+
+
+class LidarDetector(SensorDetector):
+    """LiDAR: precise position, low miss rate, longer range."""
+
+    def __init__(self, seed: int = 0, **kwargs) -> None:
+        kwargs.setdefault("pos_sigma", 0.1)
+        kwargs.setdefault("miss_prob", 0.02)
+        kwargs.setdefault("max_range", 120.0)
+        super().__init__("lidar", seed=seed, **kwargs)

@@ -1,0 +1,117 @@
+"""Longitudinal planning (the "planning" node of the task graph).
+
+Given the predicted obstacle trajectories, pick the obstacle occupying the
+ego lane corridor ahead and plan a target speed: follow it at a safe headway,
+or resume the cruise speed when the corridor is clear.  The planner's output
+(a target speed) is what the control task turns into an acceleration command.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .prediction import PredictedTrajectory
+
+__all__ = ["PlanningConfig", "SpeedPlan", "LongitudinalPlanner"]
+
+
+@dataclass
+class PlanningConfig:
+    """Corridor geometry and speed policy.
+
+    Attributes
+    ----------
+    cruise_speed:
+        Speed to hold when no obstacle occupies the corridor (m/s).
+    corridor_halfwidth:
+        Lateral half-width of the ego corridor (m); obstacles beyond it are
+        ignored by the longitudinal plan.
+    lookahead:
+        Corridor length ahead of the ego (m).
+    time_headway / standstill_gap:
+        Safe-following parameters (as in the ACC law).
+    """
+
+    cruise_speed: float = 15.0
+    corridor_halfwidth: float = 2.0
+    lookahead: float = 80.0
+    time_headway: float = 1.5
+    standstill_gap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.cruise_speed < 0:
+            raise ValueError("cruise_speed must be >= 0")
+        if self.corridor_halfwidth <= 0 or self.lookahead <= 0:
+            raise ValueError("corridor dimensions must be positive")
+        if self.time_headway < 0 or self.standstill_gap < 0:
+            raise ValueError("headway parameters must be >= 0")
+
+
+@dataclass(frozen=True)
+class SpeedPlan:
+    """The planner's output for one cycle."""
+
+    target_speed: float
+    constraint_track: Optional[int]  # track id that limited the plan, if any
+    gap: Optional[float]  # distance to that track (m)
+
+
+class LongitudinalPlanner:
+    """Corridor-based follow/cruise planner.
+
+    The ego frame has +x pointing down the lane and the ego at the origin;
+    callers transform obstacle predictions into this frame.
+    """
+
+    def __init__(self, config: Optional[PlanningConfig] = None) -> None:
+        self.config = config or PlanningConfig()
+
+    def _leader(
+        self, predictions: Sequence[PredictedTrajectory], t: float
+    ) -> Optional[Tuple[PredictedTrajectory, float]]:
+        """Nearest in-corridor obstacle ahead, with its gap."""
+        cfg = self.config
+        best: Optional[Tuple[PredictedTrajectory, float]] = None
+        for trajectory in predictions:
+            x, y = trajectory.position_at(t)
+            if abs(y) > cfg.corridor_halfwidth:
+                continue
+            if not (0.0 < x <= cfg.lookahead):
+                continue
+            if best is None or x < best[1]:
+                best = (trajectory, x)
+        return best
+
+    def plan(
+        self,
+        predictions: Sequence[PredictedTrajectory],
+        ego_speed: float,
+        t: float,
+    ) -> SpeedPlan:
+        """One planning cycle: target speed for the control task."""
+        cfg = self.config
+        leader = self._leader(predictions, t)
+        if leader is None:
+            return SpeedPlan(target_speed=cfg.cruise_speed, constraint_track=None, gap=None)
+        trajectory, gap = leader
+        # Leader speed along the lane ≈ finite difference of its prediction.
+        x0, _ = trajectory.position_at(t)
+        x1, _ = trajectory.position_at(t + trajectory.dt)
+        leader_speed = max(0.0, (x1 - x0) / trajectory.dt)
+        safe_gap = cfg.standstill_gap + cfg.time_headway * ego_speed
+        if gap <= cfg.standstill_gap:
+            target = 0.0  # inside the standstill buffer: stop
+        elif gap < safe_gap:
+            # Scale down toward the leader speed proportionally to intrusion.
+            frac = (gap - cfg.standstill_gap) / max(1e-9, safe_gap - cfg.standstill_gap)
+            target = leader_speed * frac
+        else:
+            # Far enough: follow the leader but never above cruise.
+            target = min(cfg.cruise_speed, max(leader_speed, ego_speed))
+        return SpeedPlan(
+            target_speed=min(target, cfg.cruise_speed),
+            constraint_track=trajectory.track_id,
+            gap=gap,
+        )

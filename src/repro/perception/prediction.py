@@ -1,0 +1,65 @@
+"""Obstacle trajectory prediction (the "prediction" node of the task graph).
+
+Constant-velocity extrapolation of confirmed tracks over a short horizon —
+the baseline predictor AD stacks ship before learned models, and all the
+planner downstream needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .tracking import KalmanTrack
+
+__all__ = ["PredictedTrajectory", "ConstantVelocityPredictor"]
+
+
+@dataclass(frozen=True)
+class PredictedTrajectory:
+    """Future positions of one obstacle at fixed time steps."""
+
+    track_id: int
+    t0: float
+    dt: float
+    points: Tuple[Tuple[float, float], ...]
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        """Predicted position at absolute time ``t`` (clamped to horizon)."""
+        if t <= self.t0:
+            return self.points[0]
+        idx = int((t - self.t0) / self.dt)
+        if idx >= len(self.points) - 1:
+            return self.points[-1]
+        frac = ((t - self.t0) - idx * self.dt) / self.dt
+        (x0, y0), (x1, y1) = self.points[idx], self.points[idx + 1]
+        return (x0 + frac * (x1 - x0), y0 + frac * (y1 - y0))
+
+
+class ConstantVelocityPredictor:
+    """Extrapolate each track's Kalman velocity over the horizon."""
+
+    def __init__(self, horizon: float = 3.0, dt: float = 0.25) -> None:
+        if horizon <= 0 or dt <= 0:
+            raise ValueError("horizon and dt must be positive")
+        if dt > horizon:
+            raise ValueError("dt must not exceed horizon")
+        self.horizon = horizon
+        self.dt = dt
+
+    def predict(self, tracks: Sequence[KalmanTrack], t0: float) -> List[PredictedTrajectory]:
+        """One prediction frame over the confirmed tracks."""
+        steps = int(self.horizon / self.dt) + 1
+        out: List[PredictedTrajectory] = []
+        for track in tracks:
+            x, y = track.position()
+            vx, vy = track.velocity()
+            points = tuple(
+                (x + vx * k * self.dt, y + vy * k * self.dt) for k in range(steps)
+            )
+            out.append(
+                PredictedTrajectory(
+                    track_id=track.track_id, t0=t0, dt=self.dt, points=points
+                )
+            )
+        return out

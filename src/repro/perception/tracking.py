@@ -1,0 +1,152 @@
+"""Multi-object tracking with per-track constant-velocity Kalman filters.
+
+The "object tracking" node of the paper's task graphs (Figs. 2 and 11).
+Fused obstacles are associated to existing tracks with the Hungarian
+algorithm; each track runs a 4-state (x, y, vx, vy) Kalman filter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .fusion import FusedObstacle
+from .hungarian import hungarian
+
+__all__ = ["KalmanTrack", "TrackerConfig", "MultiObjectTracker"]
+
+
+class KalmanTrack:
+    """Constant-velocity Kalman filter over state ``[x, y, vx, vy]``.
+
+    Plain-Python 4×4 linear algebra: the matrices are tiny and fixed-shape,
+    so explicit loops beat pulling in matrix machinery.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(
+        self,
+        x: float,
+        y: float,
+        t: float,
+        pos_var: float = 1.0,
+        vel_var: float = 4.0,
+    ) -> None:
+        self.track_id = next(self._ids)
+        self.t = t
+        self.state = [x, y, 0.0, 0.0]
+        # Diagonal covariance is sufficient for CV tracking with isotropic
+        # noise; keeps update math transparent.
+        self.cov = [pos_var, pos_var, vel_var, vel_var]
+        self.hits = 1
+        self.misses = 0
+
+    # -- model parameters --------------------------------------------------
+    PROCESS_POS = 0.05  # process noise added to position variance per second
+    PROCESS_VEL = 0.5  # process noise added to velocity variance per second
+    MEAS_VAR = 0.25  # measurement variance (m²)
+
+    def predict(self, t: float) -> Tuple[float, float]:
+        """Advance the filter to ``t``; returns the predicted position."""
+        dt = t - self.t
+        if dt > 0:
+            self.state[0] += self.state[2] * dt
+            self.state[1] += self.state[3] * dt
+            self.cov[0] += self.cov[2] * dt * dt + self.PROCESS_POS * dt
+            self.cov[1] += self.cov[3] * dt * dt + self.PROCESS_POS * dt
+            self.cov[2] += self.PROCESS_VEL * dt
+            self.cov[3] += self.PROCESS_VEL * dt
+            self.t = t
+        return (self.state[0], self.state[1])
+
+    def update(self, x: float, y: float) -> None:
+        """Measurement update with an (x, y) observation."""
+        for axis, z in ((0, x), (1, y)):
+            p = self.cov[axis]
+            k = p / (p + self.MEAS_VAR)
+            innovation = z - self.state[axis]
+            self.state[axis] += k * innovation
+            self.cov[axis] = (1.0 - k) * p
+            # Velocity update through the position innovation (steady-state
+            # alpha-beta form): velocity gain proportional to its variance.
+            v_axis = axis + 2
+            kv = self.cov[v_axis] / (self.cov[v_axis] + 4.0 * self.MEAS_VAR)
+            self.state[v_axis] += kv * innovation
+            self.cov[v_axis] = (1.0 - kv) * self.cov[v_axis] + 1e-6
+        self.hits += 1
+        self.misses = 0
+
+    def position(self) -> Tuple[float, float]:
+        return (self.state[0], self.state[1])
+
+    def velocity(self) -> Tuple[float, float]:
+        return (self.state[2], self.state[3])
+
+    def speed(self) -> float:
+        return math.hypot(self.state[2], self.state[3])
+
+
+@dataclass
+class TrackerConfig:
+    """Association and lifecycle parameters."""
+
+    gate_distance: float = 4.0
+    max_misses: int = 3  # frames without a match before a track is dropped
+    min_hits: int = 2  # hits before a track is reported as confirmed
+
+    def __post_init__(self) -> None:
+        if self.gate_distance <= 0:
+            raise ValueError("gate_distance must be positive")
+        if self.max_misses < 1 or self.min_hits < 1:
+            raise ValueError("max_misses and min_hits must be >= 1")
+
+
+class MultiObjectTracker:
+    """Hungarian-associated Kalman track manager."""
+
+    def __init__(self, config: Optional[TrackerConfig] = None) -> None:
+        self.config = config or TrackerConfig()
+        self.tracks: List[KalmanTrack] = []
+
+    def step(self, obstacles: Sequence[FusedObstacle], t: float) -> List[KalmanTrack]:
+        """One tracking frame; returns the confirmed tracks."""
+        cfg = self.config
+        predictions = [track.predict(t) for track in self.tracks]
+
+        matched_tracks = set()
+        matched_obs = set()
+        if self.tracks and obstacles:
+            cost = [
+                [
+                    math.hypot(obstacle.x - px, obstacle.y - py)
+                    for obstacle in obstacles
+                ]
+                for (px, py) in predictions
+            ]
+            for ti, oi in hungarian(cost):
+                if cost[ti][oi] > cfg.gate_distance:
+                    continue
+                self.tracks[ti].update(obstacles[oi].x, obstacles[oi].y)
+                matched_tracks.add(ti)
+                matched_obs.add(oi)
+
+        survivors: List[KalmanTrack] = []
+        for ti, track in enumerate(self.tracks):
+            if ti not in matched_tracks:
+                track.misses += 1
+            if track.misses <= cfg.max_misses:
+                survivors.append(track)
+        self.tracks = survivors
+
+        for oi, obstacle in enumerate(obstacles):
+            if oi not in matched_obs:
+                self.tracks.append(KalmanTrack(obstacle.x, obstacle.y, t))
+
+        return self.confirmed()
+
+    def confirmed(self) -> List[KalmanTrack]:
+        """Tracks with enough supporting hits to report downstream."""
+        return [t for t in self.tracks if t.hits >= self.config.min_hits]

@@ -1,0 +1,59 @@
+"""Real-time substrate: task model, DAG graph, execution-time models and the
+discrete-event multiprocessor executor.
+
+This package is the reproduction's stand-in for the paper's Apollo-based
+Auto-Driving Simulator (Fig. 9).
+"""
+
+from .events import Event, EventHeap, EventKind
+from .exectime import (
+    ConstantExecTime,
+    ExecContext,
+    ExecTimeObserver,
+    ExecutionTimeModel,
+    ScaledExecTime,
+    SceneCubicExecTime,
+    StepExecTime,
+    TraceExecTime,
+    TruncatedNormalExecTime,
+    UniformExecTime,
+)
+from .executor import ProcessorState, RTExecutor, SimConfig
+from .trace import TraceEntry, TraceRecorder, render_gantt
+from .metrics import MetricsRecorder, TaskStats, WindowSample
+from .queue import ReadyQueue
+from .task import Criticality, Job, JobState, TaskKind, TaskSpec
+from .taskgraph import GraphError, TaskGraph
+
+__all__ = [
+    "Event",
+    "EventHeap",
+    "EventKind",
+    "ExecContext",
+    "ExecutionTimeModel",
+    "ConstantExecTime",
+    "UniformExecTime",
+    "TruncatedNormalExecTime",
+    "SceneCubicExecTime",
+    "StepExecTime",
+    "ScaledExecTime",
+    "TraceExecTime",
+    "ExecTimeObserver",
+    "ProcessorState",
+    "RTExecutor",
+    "SimConfig",
+    "MetricsRecorder",
+    "TaskStats",
+    "WindowSample",
+    "ReadyQueue",
+    "Criticality",
+    "Job",
+    "JobState",
+    "TaskKind",
+    "TaskSpec",
+    "GraphError",
+    "TaskGraph",
+    "TraceEntry",
+    "TraceRecorder",
+    "render_gantt",
+]

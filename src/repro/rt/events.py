@@ -1,0 +1,63 @@
+"""Event plumbing for the discrete-event executor.
+
+A tiny, allocation-light event heap: events are ``(time, seq, Event)``
+triples in a ``heapq``; ``seq`` breaks time ties in insertion order so runs
+are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["EventKind", "Event", "EventHeap"]
+
+
+class EventKind(enum.Enum):
+    """The three event classes driving the simulation."""
+
+    SOURCE_RELEASE = "source_release"  # periodic release of a sensing task
+    JOB_FINISH = "job_finish"  # a processor completes its current job
+    PERIODIC = "periodic"  # registered callback (plant step, coordination)
+
+
+@dataclass(frozen=True)
+class Event:
+    """An immutable scheduled occurrence."""
+
+    kind: EventKind
+    payload: Any = None
+
+
+class EventHeap:
+    """Deterministic min-heap of timed events."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, event: Event) -> None:
+        """Schedule ``event`` at absolute simulated ``time``."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        heapq.heappush(self._heap, (time, next(self._seq), event))
+
+    def pop(self) -> Tuple[float, Event]:
+        """Remove and return the earliest ``(time, event)``."""
+        time, _, event = heapq.heappop(self._heap)
+        return time, event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest event, or ``None`` when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,444 @@
+"""Discrete-event multiprocessor executor.
+
+This is the reproduction's substitute for the paper's Apollo-based
+"Auto-Driving Simulator" (Fig. 9): a distributed real-time system that
+simulates the execution of DAG tasks with dependencies, communication and
+resource allocation on ``M`` identical processors.
+
+Semantics (paper §III-A, resolved per DESIGN.md §2):
+
+* Source tasks release periodically at their current rate; rates can be
+  retuned at runtime by the external coordinator via :meth:`RTExecutor.set_rate`.
+* A non-source task releases a job once **every** immediate predecessor has
+  delivered a fresh output since the task's last release (AND-activation).
+* Dispatch is non-preemptive; at every opportunity the active scheduler
+  ranks the ready queue and the lowest-rank eligible job runs.
+* A job finishing after ``release + D_i`` counts as a **miss** and delivers
+  nothing downstream; queued jobs whose deadline passes are dropped (also
+  misses) when the scheduler's ``drop_expired`` flag is set.
+* Completion of a sink (control) task in time produces a control command,
+  reported through the ``on_control`` hook to the vehicle plant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from .events import Event, EventHeap, EventKind
+from .view import SystemView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..schedulers.base import Scheduler
+from .exectime import ExecContext, ExecTimeObserver
+from .metrics import MetricsRecorder, WindowSample
+from .queue import ReadyQueue
+from .task import Job, JobState, TaskKind, TaskSpec
+from .taskgraph import TaskGraph
+
+__all__ = ["ProcessorState", "SimConfig", "RTExecutor"]
+
+#: Scene-complexity provider: simulated time → obstacle count (or scalar).
+ComplexityFn = Callable[[float], float]
+
+#: Control hook: called with the completing sink job and the current time.
+ControlHook = Callable[[Job, float], None]
+
+
+@dataclass
+class ProcessorState:
+    """One identical processor of the platform."""
+
+    index: int
+    job: Optional[Job] = None
+    busy_until: float = 0.0
+    busy_time_total: float = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    def remaining(self, now: float) -> float:
+        """Remaining processing time ``T_p`` of the running job (Eq. 11)."""
+        if self.job is None:
+            return 0.0
+        return max(0.0, self.busy_until - now)
+
+
+@dataclass
+class SimConfig:
+    """Platform and run configuration.
+
+    Attributes
+    ----------
+    n_processors:
+        Number of identical processors ``M``.
+    horizon:
+        Simulated run length in seconds.
+    coordination_period:
+        Width of one coordination window (``T_s`` of the coordinators and the
+        sampling period of the deadline-miss-ratio series).
+    seed:
+        Seed for the executor's private RNG (execution-time sampling).
+    observer_alpha:
+        EWMA weight of the execution-time observer (1.0 = last run).
+    max_pending_per_task:
+        Bounded channel depth: when a task already has this many jobs in the
+        ready queue, a new release evicts the *oldest* queued job of that
+        task (counted as a miss).  Models Cyber RT's bounded message
+        channels — a stale sensor frame is superseded by a fresh one — and
+        keeps the backlog finite when a baseline policy is overloaded.
+    """
+
+    n_processors: int = 4
+    horizon: float = 60.0
+    coordination_period: float = 0.5
+    seed: int = 0
+    observer_alpha: float = 0.5
+    max_pending_per_task: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_processors < 1:
+            raise ValueError("need at least one processor")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.coordination_period <= 0:
+            raise ValueError("coordination_period must be positive")
+        if self.max_pending_per_task < 1:
+            raise ValueError("max_pending_per_task must be >= 1")
+
+
+@dataclass
+class _PeriodicHook:
+    name: str
+    period: float
+    fn: Callable[[float], None]
+
+
+class RTExecutor:
+    """Simulates the task graph under a scheduling policy.
+
+    Parameters
+    ----------
+    graph:
+        Validated task graph.
+    scheduler:
+        Scheduling policy (see :mod:`repro.schedulers`).
+    config:
+        Platform/run configuration.
+    complexity:
+        Scene-complexity timeline ``n(t)`` feeding scene-coupled execution
+        time models; defaults to 0 everywhere.
+    on_control:
+        Called whenever a sink job completes within its deadline — the
+        experiment applies the resulting control command to the vehicle
+        plant here.
+    """
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        scheduler: "Scheduler",
+        config: Optional[SimConfig] = None,
+        complexity: Optional[ComplexityFn] = None,
+        on_control: Optional[ControlHook] = None,
+    ) -> None:
+        graph.validate()
+        self.graph = graph
+        self.scheduler = scheduler
+        self.config = config or SimConfig()
+        self.complexity = complexity or (lambda t: 0.0)
+        self.on_control = on_control
+
+        self.now = 0.0
+        self.rng = random.Random(self.config.seed)
+        self.ready = ReadyQueue()
+        self.metrics = MetricsRecorder()
+        self.observer = ExecTimeObserver(alpha=self.config.observer_alpha)
+        self.processors = [ProcessorState(i) for i in range(self.config.n_processors)]
+
+        self._events = EventHeap()
+        self._rates: Dict[str, float] = {}
+        self._cycles: Dict[str, int] = {}
+        # Fresh outputs awaiting AND-activation: task -> {pred_name: provenance}
+        self._pending_inputs: Dict[str, Dict[str, Dict[str, float]]] = {
+            t.name: {} for t in graph
+        }
+        self._periodic: List[_PeriodicHook] = []
+        self._stopped = False
+        self._stop_reason: Optional[str] = None
+        self._last_busy_integral = 0.0
+        self._last_window_time = 0.0
+        #: Optional execution tracer (see :mod:`repro.rt.trace`); assign a
+        #: TraceRecorder before run() to capture every dispatch interval.
+        self.tracer = None
+
+        for src in graph.sources():
+            assert src.rate is not None  # guaranteed by graph.validate()
+            self._rates[src.name] = src.rate
+
+        self.view = SystemView(
+            graph=self.graph,
+            ready=self.ready,
+            processors=self.processors,
+            observer=self.observer,
+            rates=self._rates,
+        )
+
+    # ------------------------------------------------------------------
+    # Public control surface
+    # ------------------------------------------------------------------
+    def set_rate(self, task_name: str, rate: float) -> float:
+        """Retune a source task's rate, clamped to its allowable range.
+
+        Returns the applied (clamped) rate.  Takes effect at the task's next
+        release — in-flight inter-release gaps are not rescheduled, matching
+        a rate change message that a running sensor driver picks up on its
+        next cycle.
+        """
+        spec = self.graph.task(task_name)
+        if spec.rate is None:
+            raise ValueError(f"task {task_name!r} is not a source task")
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if spec.rate_range is not None:
+            lo, hi = spec.rate_range
+            rate = min(hi, max(lo, rate))
+        self._rates[task_name] = rate
+        return rate
+
+    def get_rate(self, task_name: str) -> float:
+        """Current rate of a source task."""
+        return self._rates[task_name]
+
+    def rates(self) -> Dict[str, float]:
+        """Snapshot of all source rates."""
+        return dict(self._rates)
+
+    def add_periodic(self, name: str, period: float, fn: Callable[[float], None]) -> None:
+        """Register a callback invoked every ``period`` seconds of sim time.
+
+        Used by experiments for the vehicle-plant step and by tests for
+        probes.  Must be called before :meth:`run`.
+        """
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self._periodic.append(_PeriodicHook(name, period, fn))
+
+    def stop(self, reason: str = "") -> None:
+        """Abort the run at the current event (e.g. on a collision)."""
+        self._stopped = True
+        self._stop_reason = reason or None
+
+    @property
+    def stop_reason(self) -> Optional[str]:
+        return self._stop_reason
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> MetricsRecorder:
+        """Execute the simulation until the horizon and return the metrics."""
+        self.scheduler.prepare(self.graph, self.config.n_processors)
+        for src in self.graph.sources():
+            self._events.push(0.0, Event(EventKind.SOURCE_RELEASE, src.name))
+        self._events.push(
+            self.config.coordination_period,
+            Event(EventKind.PERIODIC, ("__coordination__", None)),
+        )
+        for hook in self._periodic:
+            self._events.push(hook.period, Event(EventKind.PERIODIC, (hook.name, hook)))
+
+        horizon = self.config.horizon
+        while self._events and not self._stopped:
+            time, event = self._events.pop()
+            if time > horizon:
+                break
+            self.now = time
+            if event.kind is EventKind.SOURCE_RELEASE:
+                self._handle_source_release(event.payload)
+            elif event.kind is EventKind.JOB_FINISH:
+                self._handle_finish(event.payload)
+            else:
+                self._handle_periodic(event.payload)
+            self._dispatch()
+        self.now = min(self.now, horizon)
+        return self.metrics
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _handle_source_release(self, task_name: str) -> None:
+        spec = self.graph.task(task_name)
+        self._release_job(spec, provenance=None)
+        period = 1.0 / self._rates[task_name]
+        next_time = self.now + period
+        if next_time <= self.config.horizon:
+            self._events.push(next_time, Event(EventKind.SOURCE_RELEASE, task_name))
+
+    def _release_job(
+        self, spec: TaskSpec, provenance: Optional[Dict[str, float]]
+    ) -> Job:
+        ctx = ExecContext(now=self.now, scene_complexity=self.complexity(self.now))
+        exec_time = spec.exec_model.sample(ctx, self.rng)
+        cycle = self._cycles.get(spec.name, 0)
+        self._cycles[spec.name] = cycle + 1
+        job = Job(
+            task=spec,
+            release_time=self.now,
+            exec_time=exec_time,
+            provenance=provenance or {},
+            cycle=cycle,
+        )
+        self.metrics.on_release(job)
+        # Bounded channel: evict the oldest queued job of the same task.
+        queued_same = [j for j in self.ready if j.task.name == spec.name]
+        if len(queued_same) >= self.config.max_pending_per_task:
+            victim = queued_same[0]
+            self.ready.remove(victim)
+            victim.state = JobState.MISSED
+            victim.finish_time = self.now
+            self.metrics.on_miss(victim, dropped=True)
+            self.scheduler.on_job_miss(victim, self.now, self.view)
+        self.ready.push(job)
+        return job
+
+    def _handle_finish(self, payload: Tuple[int, Job]) -> None:
+        proc_index, job = payload
+        proc = self.processors[proc_index]
+        assert proc.job is job, "finish event for a job the processor is not running"
+        proc.job = None
+        proc.busy_time_total += job.exec_time
+        job.finish_time = self.now
+        self.observer.observe(job.task.name, job.exec_time)
+        if self.tracer is not None:
+            from .trace import TraceEntry
+
+            self.tracer.record(
+                TraceEntry(
+                    task=job.task.name,
+                    cycle=job.cycle,
+                    processor=proc_index,
+                    start=job.start_time if job.start_time is not None else self.now,
+                    finish=self.now,
+                    release=job.release_time,
+                    deadline=job.absolute_deadline,
+                    completed=self.now <= job.absolute_deadline,
+                )
+            )
+
+        if self.now <= job.absolute_deadline:
+            job.state = JobState.COMPLETED
+            self.metrics.on_complete(job)
+            self.scheduler.on_job_complete(job, self.now, self.view)
+            self._deliver(job)
+        else:
+            job.state = JobState.MISSED
+            self.metrics.on_miss(job, dropped=False)
+            self.scheduler.on_job_miss(job, self.now, self.view)
+
+    def _deliver(self, job: Job) -> None:
+        """Propagate a completed job's output to its successors."""
+        spec = job.task
+        if self.graph.kind(spec.name) is TaskKind.SINK:
+            response = job.response_time or 0.0
+            self.metrics.on_control_command(self.now, response)
+            if self.on_control is not None:
+                self.on_control(job, self.now)
+            return
+        for succ in self.graph.isucc(spec.name):
+            pending = self._pending_inputs[succ.name]
+            pending[spec.name] = dict(job.provenance)
+            needed = {p.name for p in self.graph.ipred(succ.name)}
+            if needed.issubset(pending.keys()):
+                merged: Dict[str, float] = {}
+                for prov in pending.values():
+                    for source, ts in prov.items():
+                        # Keep the *oldest* sample per source: a command is
+                        # only as fresh as the stalest data it consumed.
+                        if source not in merged or ts < merged[source]:
+                            merged[source] = ts
+                pending.clear()
+                self._release_job(succ, provenance=merged)
+
+    def _handle_periodic(self, payload: Tuple[str, Optional[_PeriodicHook]]) -> None:
+        name, hook = payload
+        if name == "__coordination__":
+            self._coordination_step()
+            next_time = self.now + self.config.coordination_period
+            if next_time <= self.config.horizon:
+                self._events.push(
+                    next_time, Event(EventKind.PERIODIC, ("__coordination__", None))
+                )
+            return
+        assert hook is not None
+        hook.fn(self.now)
+        next_time = self.now + hook.period
+        if next_time <= self.config.horizon:
+            self._events.push(next_time, Event(EventKind.PERIODIC, (name, hook)))
+
+    def _busy_integral(self) -> float:
+        """Total processor-busy time so far, including in-flight jobs."""
+        total = sum(p.busy_time_total for p in self.processors)
+        for p in self.processors:
+            if p.job is not None and p.job.start_time is not None:
+                total += self.now - p.job.start_time
+        return total
+
+    def _coordination_step(self) -> None:
+        busy = self._busy_integral()
+        span = (self.now - self._last_window_time) * len(self.processors)
+        util = (busy - self._last_busy_integral) / span if span > 0 else 0.0
+        self._last_busy_integral = busy
+        self._last_window_time = self.now
+        window = self.metrics.close_window(self.now, utilization=util)
+        self.scheduler.on_window(self.now, self.view, window)
+        desired = self.scheduler.desired_rates()
+        if desired:
+            for name, rate in desired.items():
+                self.set_rate(name, rate)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        if self.scheduler.drop_expired:
+            for job in self.ready.drop_expired(self.now):
+                job.state = JobState.MISSED
+                job.finish_time = self.now
+                self.metrics.on_miss(job, dropped=True)
+                self.scheduler.on_job_miss(job, self.now, self.view)
+        free = [p for p in self.processors if p.idle]
+        if not free or not self.ready:
+            return
+        self.scheduler.on_dispatch_round(self.now, self.view)
+        for proc in free:
+            if not self.ready:
+                break
+            job = self.ready.pop_best(
+                key=lambda j: self.scheduler.rank(j, self.now, self.view),
+                processor=proc.index,
+            )
+            if job is None:
+                continue  # nothing eligible for this (bound) processor
+            job.state = JobState.RUNNING
+            job.start_time = self.now
+            job.processor = proc.index
+            proc.job = job
+            proc.busy_until = self.now + job.exec_time
+            self._events.push(
+                proc.busy_until, Event(EventKind.JOB_FINISH, (proc.index, job))
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def utilization(self) -> float:
+        """Mean fraction of processor time spent busy so far."""
+        if self.now <= 0:
+            return 0.0
+        total = sum(p.busy_time_total for p in self.processors)
+        return total / (self.now * len(self.processors))

@@ -1,0 +1,138 @@
+"""Execution tracing: per-job dispatch records and an ASCII Gantt view.
+
+Attach a :class:`TraceRecorder` to an executor (``executor.tracer = ...``
+before ``run()``) to capture every dispatch interval.  The recorder is the
+ground truth for the executor's non-overlap/non-preemption invariants (the
+property tests drive it) and powers :func:`render_gantt` for debugging
+schedules by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TraceEntry", "TraceRecorder", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One executed interval of a job on a processor."""
+
+    task: str
+    cycle: int
+    processor: int
+    start: float
+    finish: float
+    release: float
+    deadline: float
+    completed: bool  # finished within its deadline
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    @property
+    def waited(self) -> float:
+        """Queue wait before dispatch."""
+        return self.start - self.release
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEntry` records during a run."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 (or None for unbounded)")
+        self.capacity = capacity
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+
+    def record(self, entry: TraceEntry) -> None:
+        if self.capacity is not None and len(self.entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def by_processor(self) -> Dict[int, List[TraceEntry]]:
+        """Entries grouped per processor, in start order."""
+        out: Dict[int, List[TraceEntry]] = {}
+        for e in self.entries:
+            out.setdefault(e.processor, []).append(e)
+        for entries in out.values():
+            entries.sort(key=lambda e: e.start)
+        return out
+
+    def by_task(self) -> Dict[str, List[TraceEntry]]:
+        out: Dict[str, List[TraceEntry]] = {}
+        for e in self.entries:
+            out.setdefault(e.task, []).append(e)
+        return out
+
+    def verify_non_overlap(self) -> List[str]:
+        """Invariant check: no two intervals overlap on one processor.
+
+        Returns a list of violation descriptions (empty = clean) — the
+        executor is non-preemptive, so any overlap is an engine bug.
+        """
+        problems: List[str] = []
+        for proc, entries in self.by_processor().items():
+            for a, b in zip(entries, entries[1:]):
+                if b.start < a.finish - 1e-12:
+                    problems.append(
+                        f"processor {proc}: {a.task}#{a.cycle} "
+                        f"[{a.start:.4f},{a.finish:.4f}) overlaps "
+                        f"{b.task}#{b.cycle} [{b.start:.4f},{b.finish:.4f})"
+                    )
+        return problems
+
+    def mean_wait(self, task: Optional[str] = None) -> float:
+        """Average queue wait, optionally for one task."""
+        entries = self.entries if task is None else self.by_task().get(task, [])
+        if not entries:
+            return 0.0
+        return sum(e.waited for e in entries) / len(entries)
+
+
+def render_gantt(
+    recorder: TraceRecorder,
+    t_start: float,
+    t_end: float,
+    width: int = 100,
+    label_width: int = 6,
+) -> str:
+    """ASCII Gantt chart of a trace window, one row per processor.
+
+    Each column is ``(t_end − t_start)/width`` seconds; a cell shows the
+    symbol of the task occupying (most of) it — a distinct letter per task,
+    upper-case when the job met its deadline, lower-case when it missed;
+    ``.`` is idle.
+    """
+    if t_end <= t_start:
+        raise ValueError("t_end must exceed t_start")
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    tasks = sorted({e.task for e in recorder.entries})
+    symbol = {t: alphabet[i % len(alphabet)] for i, t in enumerate(tasks)}
+    dt = (t_end - t_start) / width
+    lines = [
+        f"gantt [{t_start:.3f}s .. {t_end:.3f}s] "
+        f"({dt * 1000:.2f} ms/col; UPPER=met deadline, lower=missed)"
+    ]
+    for proc, entries in sorted(recorder.by_processor().items()):
+        cells = ["."] * width
+        for e in entries:
+            if e.finish <= t_start or e.start >= t_end:
+                continue
+            lo = max(0, int((e.start - t_start) / dt))
+            hi = min(width, max(lo + 1, int((e.finish - t_start) / dt)))
+            mark = symbol[e.task] if e.completed else symbol[e.task].lower()
+            for i in range(lo, hi):
+                cells[i] = mark
+        lines.append(f"p{proc:<{label_width - 1}d}|{''.join(cells)}|")
+    lines.append("tasks: " + ", ".join(f"{symbol[t]}={t}" for t in tasks))
+    return "\n".join(lines)

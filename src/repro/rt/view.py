@@ -1,0 +1,55 @@
+"""Read-only system view handed to scheduling policies.
+
+Lives in the real-time substrate (rather than the scheduler package) so the
+executor, the schedulers and the HCPerf core can all import it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, TYPE_CHECKING
+
+from .exectime import ExecTimeObserver
+from .queue import ReadyQueue
+from .taskgraph import TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import ProcessorState
+
+__all__ = ["SystemView"]
+
+
+@dataclass
+class SystemView:
+    """What a scheduler is allowed to observe.
+
+    Attributes
+    ----------
+    graph:
+        The task graph being executed.
+    ready:
+        The ready queue (shared object; schedulers must not mutate it —
+        the executor owns admission and dispatch).
+    processors:
+        Current processor states; ``remaining(now)`` of each gives the
+        ``T_p`` terms in the paper's Eq. (11).
+    observer:
+        Online execution-time estimates ``c_i``.
+    rates:
+        Current source-task rates (Hz), keyed by task name.
+    """
+
+    graph: TaskGraph
+    ready: ReadyQueue
+    processors: List["ProcessorState"]
+    observer: ExecTimeObserver
+    rates: Dict[str, float]
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    def busy_remaining(self, now: float) -> float:
+        """Sum of remaining processing times over all processors (ΣT_p)."""
+        return sum(p.remaining(now) for p in self.processors)

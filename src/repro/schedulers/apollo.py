@@ -1,0 +1,88 @@
+"""Apollo baseline — static processor binding + static priority.
+
+"Apollo is the state-of-the-practice.  It binds different tasks to different
+processors and then uses the statically assigned priority to select tasks for
+execution." (paper §VII-A4)
+
+Binding strategy: unless the task graph already carries explicit
+``processor_binding`` values, :meth:`prepare` partitions tasks greedily by
+estimated mean utilization (largest task first onto the least-loaded
+processor) — the careful *offline* partitioning a Cyber RT deployment config
+expresses.  The partition is computed from offline profile data (the
+execution-time models at their nominal context), so it is exactly right for
+the nominal workload and exactly wrong when a task's runtime cost doubles:
+the overloaded processor backs up while the others idle — precisely the
+pathology the paper's motivation section demonstrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..rt.exectime import ExecContext
+from ..rt.task import Job
+from ..rt.taskgraph import TaskGraph
+from .base import Scheduler, SystemView
+
+__all__ = ["ApolloScheduler"]
+
+
+class ApolloScheduler(Scheduler):
+    """Fixed-priority dispatch with static task→processor binding."""
+
+    name = "Apollo"
+
+    #: Like the other baselines, Apollo executes whatever is queued and
+    #: discards late outputs after the fact.  (Bounded channel depth — Cyber
+    #: RT keeps only the most recent messages — is modelled platform-wide by
+    #: ``SimConfig.max_pending_per_task``.)
+    drop_expired = False
+
+    def __init__(self, respect_existing_bindings: bool = True) -> None:
+        self.respect_existing_bindings = respect_existing_bindings
+        self._assigned: Dict[str, int] = {}
+
+    def prepare(self, graph: TaskGraph, n_processors: int) -> None:
+        """Bind every unbound task by greedy offline utilization balancing.
+
+        The partition is computed from offline profile data (each task's
+        nominal mean cost × its steady-state rate), largest task first onto
+        the least-loaded processor — the careful static partitioning a
+        deployment config expresses.  It is exactly right for the nominal
+        workload and exactly wrong when a task's runtime cost doubles: the
+        overloaded processor backs up while the others idle, which is the
+        paper's Apollo pathology (motivation §II and Fig. 13).
+        """
+        from ..workloads.profiles import effective_rates
+
+        ctx = ExecContext(now=0.0, scene_complexity=0.0)
+        eff = effective_rates(graph)
+        load = [0.0] * n_processors
+        pre_bound = []
+        unbound = []
+        for spec in graph.topological_order():
+            if self.respect_existing_bindings and spec.processor_binding is not None:
+                pre_bound.append(spec)
+            else:
+                unbound.append(spec)
+        for spec in pre_bound:
+            proc = spec.processor_binding % n_processors
+            spec.processor_binding = proc
+            self._assigned[spec.name] = proc
+            load[proc] += spec.exec_model.mean(ctx) * eff[spec.name]
+        unbound.sort(key=lambda s: s.exec_model.mean(ctx) * eff[s.name], reverse=True)
+        for spec in unbound:
+            proc = min(range(n_processors), key=lambda p: load[p])
+            spec.processor_binding = proc
+            self._assigned[spec.name] = proc
+            load[proc] += spec.exec_model.mean(ctx) * eff[spec.name]
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        # Fixed priority between tasks, release order within a level — the
+        # queue model of the paper's Fig. 3, where several cycles of the
+        # same task wait in FIFO order.
+        return float(job.task.priority)
+
+    def binding(self, task_name: str) -> int:
+        """Processor the task was bound to (after :meth:`prepare`)."""
+        return self._assigned[task_name]

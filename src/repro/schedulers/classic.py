@@ -1,0 +1,55 @@
+"""Additional classic baselines beyond the paper's four: RM and FIFO.
+
+Not part of the paper's evaluation, but standard reference points when
+studying new workloads with the framework (``examples/random_workload_demo``
+and the sweep harness can include them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..rt.task import Job
+from ..rt.taskgraph import TaskGraph
+from .base import Scheduler, SystemView
+
+__all__ = ["RateMonotonicScheduler", "FIFOScheduler"]
+
+
+class RateMonotonicScheduler(Scheduler):
+    """Rate-Monotonic: shorter effective period = higher priority.
+
+    Non-source tasks inherit the AND-activation effective rate (the minimum
+    over their source ancestors), computed once at :meth:`prepare` from the
+    graph's configured rates — the classical static-priority assignment
+    lifted to DAG workloads.
+    """
+
+    name = "RM"
+
+    def __init__(self) -> None:
+        self._period: Dict[str, float] = {}
+
+    def prepare(self, graph: TaskGraph, n_processors: int) -> None:
+        from ..workloads.profiles import effective_rates
+
+        self._period = {
+            name: 1.0 / rate for name, rate in effective_rates(graph).items()
+        }
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        # Unknown tasks (never prepared) sort last.
+        return self._period.get(job.task.name, float("inf"))
+
+
+class FIFOScheduler(Scheduler):
+    """First-in-first-out: release order, nothing else.
+
+    The weakest sensible baseline — it establishes the floor that any
+    priority/deadline awareness must beat.
+    """
+
+    name = "FIFO"
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        return job.release_time

@@ -1,0 +1,23 @@
+"""EDF — Earliest Deadline First (Liu & Layland [21]).
+
+Priority is the job's absolute deadline: the job whose deadline is nearest
+runs next.  Under the non-preemptive multiprocessor model of this repo, EDF
+is a heuristic (global non-preemptive EDF is not optimal), matching how the
+paper deploys it as a baseline.
+"""
+
+from __future__ import annotations
+
+from ..rt.task import Job
+from .base import Scheduler, SystemView
+
+__all__ = ["EDFScheduler"]
+
+
+class EDFScheduler(Scheduler):
+    """Global non-preemptive earliest-deadline-first."""
+
+    name = "EDF"
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        return job.absolute_deadline

@@ -1,0 +1,98 @@
+"""HCPerf scheduling policy — adapter between the hierarchical coordinator
+and the executor's :class:`~repro.schedulers.base.Scheduler` interface.
+
+Wiring per coordination window (paper Fig. 6 workflow):
+
+1. the driving application reports the tracking error via
+   :meth:`HCPerfScheduler.report_performance` at the plant rate;
+2. at each coordination window the Performance Directed Controller produces
+   the nominal parameter ``u`` and the Task Rate Adapter retunes source
+   rates from the window's deadline-miss ratio;
+3. before every dispatch round, the Dynamic Priority Scheduler searches
+   ``γ_max`` over the current ready queue, clamps ``u`` into ``[0, γ_max]``
+   and ranks jobs by ``P_i = γ·p_i + d_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.coordinator import HCPerfConfig, HierarchicalCoordinator
+from ..rt.metrics import WindowSample
+from ..rt.task import Job
+from .base import Scheduler, SystemView
+
+__all__ = ["HCPerfScheduler"]
+
+
+class HCPerfScheduler(Scheduler):
+    """Performance-directed hierarchical coordination policy."""
+
+    name = "HCPerf"
+
+    #: HCPerf avoids wasting processor time on jobs that can no longer meet
+    #: their deadline (§III-B: misses "prevent generating control commands
+    #: and also waste system computing resources").
+    drop_expired = True
+
+    def __init__(self, config: Optional[HCPerfConfig] = None) -> None:
+        self.coordinator = HierarchicalCoordinator(config)
+        self._gamma = 0.0
+        self._desired_rates: Optional[Dict[str, float]] = None
+        self._windows_seen = 0
+
+    # ------------------------------------------------------------------
+    # Driving-performance input
+    # ------------------------------------------------------------------
+    def report_performance(self, t: float, error: float) -> None:
+        """Feed one tracking-error measurement ``E(t)`` from the plant."""
+        self.coordinator.report_performance(t, error)
+
+    @property
+    def gamma(self) -> float:
+        """The priority adjustment coefficient used by the last dispatch."""
+        return self._gamma
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+    def prepare(self, graph, n_processors: int) -> None:
+        # Register each source task's allowable rate range with the external
+        # coordinator; sources without a range are not adaptable.
+        for src in graph.sources():
+            if src.rate_range is not None:
+                lo, hi = src.rate_range
+                self.coordinator.rate_adapter.set_rate_range(src.name, lo, hi)
+
+    def on_dispatch_round(self, now: float, view: SystemView) -> None:
+        jobs = view.ready.jobs()
+        result = self.coordinator.resolve_gamma(
+            now,
+            jobs,
+            exec_estimate=lambda j: view.observer.estimate(j.task.name, j.exec_time),
+            busy_remaining=view.busy_remaining(now),
+            n_processors=view.n_processors,
+        )
+        self._gamma = result.gamma
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        c_est = view.observer.estimate(job.task.name, job.exec_time)
+        return self.coordinator.policy.dynamic_priority(job, self._gamma, now, c_est)
+
+    def on_window(self, now: float, view: SystemView, window: WindowSample) -> None:
+        self._windows_seen += 1
+        if self._windows_seen == 1:
+            # First window: baseline the execution-time regime so drift is
+            # measured against the initial profile.
+            view.observer.mark_stable()
+        self.coordinator.sample_controller(now)
+        self._desired_rates = self.coordinator.adapt_rates(
+            window.miss_ratio,
+            dict(view.rates),
+            view.observer,
+            utilization=window.utilization,
+        )
+
+    def desired_rates(self) -> Optional[Dict[str, float]]:
+        rates, self._desired_rates = self._desired_rates, None
+        return rates

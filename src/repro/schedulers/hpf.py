@@ -1,0 +1,22 @@
+"""HPF — High Priority First (paper baseline [25]).
+
+Each task is assigned a priority offline; the highest-priority (smallest
+``p_i``) ready job is executed next, non-preemptively.  Release order breaks
+ties, so the policy is deterministic.
+"""
+
+from __future__ import annotations
+
+from ..rt.task import Job
+from .base import Scheduler, SystemView
+
+__all__ = ["HPFScheduler"]
+
+
+class HPFScheduler(Scheduler):
+    """Static-priority, non-preemptive dispatch."""
+
+    name = "HPF"
+
+    def rank(self, job: Job, now: float, view: SystemView) -> float:
+        return float(job.task.priority)

@@ -1,0 +1,135 @@
+"""Lateral dynamics (kinematic bicycle) and the lane-keeping steering law.
+
+Lane keeping "enables the autonomous driving vehicle to follow the desired
+lane by adjusting the front steering angle" (paper §VII-B2).  The vehicle
+moves at a fixed longitudinal speed; the plant is the kinematic bicycle
+
+    ẋ = v·cos ψ,   ẏ = v·sin ψ,   ψ̇ = (v / L)·tan δ
+
+and the control task evaluates a Stanley-style law with curvature
+feedforward:
+
+    δ = atan(κ·L) − k_ψ·e_ψ − atan(k_e·e_y / v)
+
+where ``e_y`` is the lateral offset from the centerline (the paper's
+performance metric) and ``e_ψ`` the heading error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["BicycleState", "BicycleDynamics", "SteeringCommand", "StanleyController"]
+
+
+@dataclass
+class BicycleState:
+    """Planar pose of the bicycle model."""
+
+    x: float = 0.0
+    y: float = 0.0
+    heading: float = 0.0  # rad
+    steering: float = 0.0  # rad, actual front-wheel angle
+
+    def copy(self) -> "BicycleState":
+        return BicycleState(self.x, self.y, self.heading, self.steering)
+
+
+@dataclass
+class BicycleDynamics:
+    """Kinematic bicycle plant with steering limit and lag.
+
+    Attributes
+    ----------
+    wheelbase:
+        Distance between axles ``L`` (m).
+    max_steering:
+        Front-wheel angle limit (rad).
+    steering_lag:
+        First-order steering-actuator time constant (s); 0 = instantaneous.
+    """
+
+    wheelbase: float = 2.7
+    max_steering: float = 0.6
+    steering_lag: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wheelbase <= 0:
+            raise ValueError("wheelbase must be positive")
+        if self.max_steering <= 0:
+            raise ValueError("max_steering must be positive")
+        if self.steering_lag < 0:
+            raise ValueError("steering_lag must be >= 0")
+
+    def clamp(self, steering_cmd: float) -> float:
+        return min(self.max_steering, max(-self.max_steering, steering_cmd))
+
+    def step(self, state: BicycleState, steering_cmd: float, speed: float, dt: float) -> None:
+        """Advance the pose by ``dt`` at constant ``speed``."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if speed < 0:
+            raise ValueError("speed must be >= 0")
+        target = self.clamp(steering_cmd)
+        if self.steering_lag > 0:
+            k = 1.0 - math.exp(-dt / self.steering_lag)
+            state.steering += k * (target - state.steering)
+        else:
+            state.steering = target
+        state.x += speed * math.cos(state.heading) * dt
+        state.y += speed * math.sin(state.heading) * dt
+        state.heading += (speed / self.wheelbase) * math.tan(state.steering) * dt
+        # Keep heading in (-pi, pi] for numeric hygiene.
+        state.heading = math.atan2(math.sin(state.heading), math.cos(state.heading))
+
+
+@dataclass(frozen=True)
+class SteeringCommand:
+    """A steering command produced by the control (sink) task."""
+
+    steering: float  # rad
+    computed_at: float
+    sense_time: float
+
+
+@dataclass
+class StanleyController:
+    """Stanley lateral law with curvature feedforward.
+
+    Attributes
+    ----------
+    k_offset:
+        Cross-track gain ``k_e``.
+    k_heading:
+        Heading-error gain ``k_ψ``.
+    softening:
+        Speed softening constant added to ``v`` in the cross-track term so
+        the law stays defined at standstill.
+    """
+
+    k_offset: float = 1.5
+    k_heading: float = 1.0
+    softening: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.k_offset < 0 or self.k_heading < 0:
+            raise ValueError("gains must be >= 0")
+        if self.softening <= 0:
+            raise ValueError("softening must be positive")
+
+    def steering_command(
+        self,
+        lateral_offset: float,
+        heading_error: float,
+        speed: float,
+        curvature: float,
+        wheelbase: float,
+    ) -> float:
+        """Steering angle from a (possibly stale) tracking-state snapshot."""
+        feedforward = math.atan(curvature * wheelbase)
+        heading_term = -self.k_heading * heading_error
+        crosstrack_term = -math.atan2(
+            self.k_offset * lateral_offset, speed + self.softening
+        )
+        return feedforward + heading_term + crosstrack_term

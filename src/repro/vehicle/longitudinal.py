@@ -1,0 +1,135 @@
+"""Longitudinal vehicle dynamics and the car-following control law.
+
+The Vehicle Control Simulator (paper Fig. 9) "simulates the trajectories of
+an autonomous vehicle; when it receives control commands … it directs the
+vehicle to perform corresponding actions such as acceleration [and]
+deceleration".  We model the follower as a point mass with a first-order
+actuator lag:
+
+    ṡ = v,   v̇ = a,   ȧ = (a_cmd − a) / τ
+
+The control task's law is a constant-time-headway Adaptive Cruise Controller
+(the standard realization of the car-following application [14]): it tracks
+the lead speed while regulating the gap to ``d₀ + h·v``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "LongitudinalState",
+    "LongitudinalDynamics",
+    "ACCCommand",
+    "ACCController",
+]
+
+
+@dataclass
+class LongitudinalState:
+    """Kinematic state of one vehicle along the lane."""
+
+    position: float = 0.0  # m along the lane
+    speed: float = 0.0  # m/s
+    accel: float = 0.0  # m/s², actual (post actuator lag)
+
+    def copy(self) -> "LongitudinalState":
+        return LongitudinalState(self.position, self.speed, self.accel)
+
+
+@dataclass
+class LongitudinalDynamics:
+    """Point-mass longitudinal plant with actuator lag and limits.
+
+    Attributes
+    ----------
+    max_accel / max_brake:
+        Acceleration limits (both positive; braking applies ``−max_brake``).
+    actuator_lag:
+        First-order time constant τ of the throttle/brake path; 0 disables
+        the lag (command applies instantly).  The paper's hardware section
+        explicitly notes "the lag in the throttle control of the scaled car".
+    """
+
+    max_accel: float = 3.0
+    max_brake: float = 6.0
+    actuator_lag: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_accel <= 0 or self.max_brake <= 0:
+            raise ValueError("acceleration limits must be positive")
+        if self.actuator_lag < 0:
+            raise ValueError("actuator_lag must be >= 0")
+
+    def clamp(self, accel_cmd: float) -> float:
+        """Apply the acceleration limits to a commanded value."""
+        return min(self.max_accel, max(-self.max_brake, accel_cmd))
+
+    def step(self, state: LongitudinalState, accel_cmd: float, dt: float) -> None:
+        """Advance ``state`` by ``dt`` under the (clamped, lagged) command."""
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        target = self.clamp(accel_cmd)
+        if self.actuator_lag > 0:
+            # Exact discretization of the first-order lag over dt.
+            k = 1.0 - math.exp(-dt / self.actuator_lag)
+            state.accel += k * (target - state.accel)
+        else:
+            state.accel = target
+        state.position += state.speed * dt + 0.5 * state.accel * dt * dt
+        state.speed += state.accel * dt
+        if state.speed < 0.0:
+            # Vehicles do not reverse under braking.
+            state.speed = 0.0
+            state.accel = max(state.accel, 0.0)
+
+
+@dataclass(frozen=True)
+class ACCCommand:
+    """A control command produced by the control (sink) task."""
+
+    accel: float  # commanded acceleration, m/s²
+    computed_at: float  # time the command was issued
+    sense_time: float  # age of the sensor data it was computed from
+
+
+@dataclass
+class ACCController:
+    """Constant-time-headway adaptive cruise control law.
+
+    ``a = k_v·(v_lead − v) + k_g·(gap − (d₀ + h·v))``
+
+    Attributes
+    ----------
+    k_speed:
+        Gain on the speed tracking error.
+    k_gap:
+        Gain on the gap regulation error.
+    headway:
+        Desired time headway ``h`` (s).
+    standstill_gap:
+        Desired standstill distance ``d₀`` (m).
+    """
+
+    k_speed: float = 1.2
+    k_gap: float = 0.25
+    headway: float = 1.5
+    standstill_gap: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.k_speed < 0 or self.k_gap < 0:
+            raise ValueError("gains must be >= 0")
+        if self.headway < 0 or self.standstill_gap < 0:
+            raise ValueError("headway and standstill_gap must be >= 0")
+
+    def desired_gap(self, speed: float) -> float:
+        """Target inter-vehicle distance at the given follower speed."""
+        return self.standstill_gap + self.headway * speed
+
+    def accel_command(self, v_lead: float, v_follow: float, gap: float) -> float:
+        """Raw acceleration command from a (possibly stale) state snapshot."""
+        speed_term = self.k_speed * (v_lead - v_follow)
+        gap_term = self.k_gap * (gap - self.desired_gap(v_follow))
+        return speed_term + gap_term

@@ -1,0 +1,149 @@
+"""Lead-vehicle speed profiles.
+
+Each experiment scripts the lead car with one of these deterministic
+profiles:
+
+* :class:`ConstantSpeed` — steady cruising;
+* :class:`SineSpeed` — the Fig. 13 car-following setup ("the speed of the
+  lead vehicle follows a sine function with a period of 7 s bounded in
+  [10, 20] m/s");
+* :class:`PiecewiseLinearSpeed` — arbitrary breakpoint ramps, used for the
+  red-light deceleration of the motivation scenario (§II), the traffic-jam
+  deceleration (§VII-C) and the hardware accelerate/cruise/decelerate
+  routine (Fig. 15).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = [
+    "SpeedProfile",
+    "ConstantSpeed",
+    "SineSpeed",
+    "PiecewiseLinearSpeed",
+    "hardware_routine",
+    "red_light_routine",
+    "traffic_jam_routine",
+]
+
+
+class SpeedProfile:
+    """Deterministic reference speed as a function of time."""
+
+    def speed(self, t: float) -> float:
+        """Lead-vehicle speed (m/s) at time ``t``."""
+        raise NotImplementedError
+
+
+@dataclass
+class ConstantSpeed(SpeedProfile):
+    """``v(t) = value``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("speed must be >= 0")
+
+    def speed(self, t: float) -> float:
+        return self.value
+
+
+@dataclass
+class SineSpeed(SpeedProfile):
+    """Sinusoid between ``lo`` and ``hi`` with the given period.
+
+    ``v(t) = mid + amp·sin(2πt/period + phase)`` where ``mid = (lo+hi)/2``
+    and ``amp = (hi−lo)/2``.
+    """
+
+    lo: float
+    hi: float
+    period: float
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi < self.lo:
+            raise ValueError(f"invalid speed range [{self.lo}, {self.hi}]")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def speed(self, t: float) -> float:
+        mid = 0.5 * (self.lo + self.hi)
+        amp = 0.5 * (self.hi - self.lo)
+        return mid + amp * math.sin(2.0 * math.pi * t / self.period + self.phase)
+
+
+@dataclass
+class PiecewiseLinearSpeed(SpeedProfile):
+    """Linear interpolation through ``(time, speed)`` breakpoints.
+
+    Before the first breakpoint the first speed holds; after the last, the
+    last speed holds.
+    """
+
+    breakpoints: Sequence[Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        pts = list(self.breakpoints)
+        if not pts:
+            raise ValueError("need at least one breakpoint")
+        times = [t for t, _ in pts]
+        if times != sorted(times):
+            raise ValueError("breakpoint times must be non-decreasing")
+        if any(v < 0 for _, v in pts):
+            raise ValueError("speeds must be >= 0")
+        self.breakpoints = pts
+
+    def speed(self, t: float) -> float:
+        pts: List[Tuple[float, float]] = list(self.breakpoints)
+        if t <= pts[0][0]:
+            return pts[0][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= t <= t1:
+                if t1 == t0:
+                    return v1
+                frac = (t - t0) / (t1 - t0)
+                return v0 + frac * (v1 - v0)
+        return pts[-1][1]
+
+
+def hardware_routine(v_cruise: float = 1.0, t_accel: float = 5.0,
+                     t_cruise: float = 10.0, t_decel: float = 5.0) -> PiecewiseLinearSpeed:
+    """Fig. 15 lead routine: accelerate, hold, decelerate (20 s total).
+
+    Defaults use a 1 m/s cruise speed appropriate for a 1:10 scaled car.
+    """
+    return PiecewiseLinearSpeed([
+        (0.0, 0.0),
+        (t_accel, v_cruise),
+        (t_accel + t_cruise, v_cruise),
+        (t_accel + t_cruise + t_decel, 0.0),
+    ])
+
+
+def red_light_routine(v0: float = 10.0, t_brake: float = 5.0,
+                      t_stop: float = 25.0) -> PiecewiseLinearSpeed:
+    """§II motivation: cruise at ``v0``, brake for a red light from ``t_brake``.
+
+    The lead car decelerates linearly to a full stop at ``t_stop`` (the paper
+    notes its speed has dropped to ~2 m/s by t = 23.4 s when the collision
+    happens, consistent with a linear ramp from 10 m/s over 20 s).
+    """
+    return PiecewiseLinearSpeed([(0.0, v0), (t_brake, v0), (t_stop, 0.0)])
+
+
+def traffic_jam_routine(v0: float = 20.0, t_brake: float = 10.0,
+                        v_jam: float = 5.0, t_jam: float = 20.0,
+                        t_clear: float = 30.0) -> PiecewiseLinearSpeed:
+    """§VII-C: cruise at 20 m/s, decelerate into a jam at t = 10 s, clear later."""
+    return PiecewiseLinearSpeed([
+        (0.0, v0),
+        (t_brake, v0),
+        (t_jam, v_jam),
+        (t_clear, v_jam),
+        (t_clear + 10.0, v0),
+    ])

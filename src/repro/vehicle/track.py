@@ -1,0 +1,133 @@
+"""Track geometry for the lane-keeping experiment.
+
+Fig. 14(a) shows "loop driving": the car drives an oval-shaped closed loop
+clockwise and performance is the deviation from the lane centerline.  An
+:class:`OvalTrack` is two straights joined by two semicircles; it maps arc
+length to pose/curvature and projects a world position back to the
+centerline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["OvalTrack"]
+
+
+@dataclass
+class OvalTrack:
+    """Stadium-shaped (oval) closed track.
+
+    The centerline starts at the origin heading +x along the bottom
+    straight; the loop is traversed counter-clockwise in arc-length ``s``
+    (the clockwise driving direction of the paper's figure is a mirror
+    image and does not affect offsets).
+
+    Attributes
+    ----------
+    straight_length:
+        Length of each of the two straights (m).
+    radius:
+        Radius of each of the two semicircular turns (m).
+    """
+
+    straight_length: float = 100.0
+    radius: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.straight_length <= 0 or self.radius <= 0:
+            raise ValueError("straight_length and radius must be positive")
+
+    @property
+    def length(self) -> float:
+        """Total centerline length."""
+        return 2.0 * self.straight_length + 2.0 * math.pi * self.radius
+
+    def wrap(self, s: float) -> float:
+        """Normalize arc length into ``[0, length)``."""
+        return s % self.length
+
+    # ------------------------------------------------------------------
+    # Centerline parametrization
+    # ------------------------------------------------------------------
+    def pose(self, s: float) -> Tuple[float, float, float]:
+        """Centerline pose ``(x, y, heading)`` at arc length ``s``."""
+        s = self.wrap(s)
+        L, R = self.straight_length, self.radius
+        arc = math.pi * R
+        if s < L:  # bottom straight, heading +x
+            return (s, 0.0, 0.0)
+        s -= L
+        if s < arc:  # right turn (counter-clockwise semicircle)
+            theta = s / R  # 0..pi
+            cx, cy = L, R
+            x = cx + R * math.sin(theta)
+            y = cy - R * math.cos(theta)
+            return (x, y, theta)
+        s -= arc
+        if s < L:  # top straight, heading -x
+            return (L - s, 2.0 * R, math.pi)
+        s -= L
+        # left turn
+        theta = s / R  # 0..pi
+        cx, cy = 0.0, R
+        x = cx - R * math.sin(theta)
+        y = cy + R * math.cos(theta)
+        return (x, y, math.pi + theta)
+
+    def curvature(self, s: float) -> float:
+        """Signed centerline curvature at arc length ``s`` (1/m).
+
+        Positive on the two turns (left-hand curvature in the
+        counter-clockwise traversal), zero on the straights.
+        """
+        s = self.wrap(s)
+        L, R = self.straight_length, self.radius
+        arc = math.pi * R
+        if s < L:
+            return 0.0
+        if s < L + arc:
+            return 1.0 / R
+        if s < L + arc + L:
+            return 0.0
+        return 1.0 / R
+
+    def on_turn(self, s: float) -> bool:
+        """Whether arc length ``s`` lies on one of the two semicircles."""
+        return self.curvature(s) != 0.0
+
+    # ------------------------------------------------------------------
+    # Projection
+    # ------------------------------------------------------------------
+    def project(self, x: float, y: float, s_hint: float) -> Tuple[float, float]:
+        """Project a world point to ``(s, lateral_offset)``.
+
+        Uses a local search around ``s_hint`` (the previously known arc
+        length) — the vehicle moves continuously, so a ±5 m window with fine
+        refinement is both fast and unambiguous.  The signed offset is
+        positive to the left of the driving direction.
+        """
+        best_s = self.wrap(s_hint)
+        best_d2 = self._dist2(x, y, best_s)
+        # Coarse-to-fine local search.
+        for step, half_span in ((1.0, 8.0), (0.1, 1.5), (0.01, 0.2)):
+            center = best_s
+            k = int(half_span / step)
+            for i in range(-k, k + 1):
+                s = self.wrap(center + i * step)
+                d2 = self._dist2(x, y, s)
+                if d2 < best_d2:
+                    best_d2 = d2
+                    best_s = s
+        cx, cy, heading = self.pose(best_s)
+        # Signed lateral offset: cross product of heading direction with the
+        # displacement vector.
+        dx, dy = x - cx, y - cy
+        offset = -math.sin(heading) * dx + math.cos(heading) * dy
+        return best_s, offset
+
+    def _dist2(self, x: float, y: float, s: float) -> float:
+        cx, cy, _ = self.pose(s)
+        return (x - cx) ** 2 + (y - cy) ** 2

@@ -1,0 +1,173 @@
+"""Random DAG workload generation.
+
+For studying the coordinators beyond the paper's two task graphs: generates
+layered sensing→…→control DAGs with a target utilization, in the style of
+the layered-DAG generators used in real-time systems evaluations.
+
+The generated graphs satisfy the same invariants as the hand-written
+profiles (validated DAG, rated sources, single control sink) and can be fed
+straight into :class:`~repro.rt.executor.RTExecutor` or a
+:class:`~repro.workloads.scenarios.Scenario`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..rt.exectime import UniformExecTime
+from ..rt.task import Criticality, TaskSpec
+from ..rt.taskgraph import TaskGraph
+from .profiles import effective_rates, estimated_utilization
+
+__all__ = ["GeneratorConfig", "generate_graph"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Shape and load parameters of a generated workload.
+
+    Attributes
+    ----------
+    n_sources:
+        Number of sensing (source) tasks.
+    n_layers:
+        Number of intermediate layers between sources and the sink.
+    tasks_per_layer:
+        Width of each intermediate layer.
+    source_rate / rate_range:
+        Release rate of the sources (Hz) and their adaptable range.
+    target_utilization:
+        Desired mean utilization of the platform; execution times are
+        scaled to hit it (via :func:`estimated_utilization`).
+    n_processors:
+        Platform size the utilization target refers to.
+    deadline_factor:
+        Relative deadline = ``deadline_factor / source_rate`` for every
+        task (i.e. a multiple of the base period).
+    edge_density:
+        Probability of an extra edge between adjacent layers beyond the
+        connectivity spanning edges.
+    high_criticality_fraction:
+        Fraction of tasks marked HIGH (for EDF-VD studies).
+    seed:
+        RNG seed; generation is fully deterministic.
+    """
+
+    n_sources: int = 3
+    n_layers: int = 3
+    tasks_per_layer: int = 3
+    source_rate: float = 20.0
+    rate_range: Tuple[float, float] = (10.0, 40.0)
+    target_utilization: float = 0.6
+    n_processors: int = 2
+    deadline_factor: float = 2.0
+    edge_density: float = 0.3
+    high_criticality_fraction: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_sources < 1 or self.n_layers < 0 or self.tasks_per_layer < 1:
+            raise ValueError("invalid graph shape")
+        if self.source_rate <= 0:
+            raise ValueError("source_rate must be positive")
+        if not (0.0 < self.target_utilization <= 2.0):
+            raise ValueError("target_utilization must be in (0, 2]")
+        if self.n_processors < 1:
+            raise ValueError("n_processors must be >= 1")
+        if self.deadline_factor <= 0:
+            raise ValueError("deadline_factor must be positive")
+        if not (0.0 <= self.edge_density <= 1.0):
+            raise ValueError("edge_density must be in [0, 1]")
+        if not (0.0 <= self.high_criticality_fraction <= 1.0):
+            raise ValueError("high_criticality_fraction must be in [0, 1]")
+
+
+def generate_graph(config: Optional[GeneratorConfig] = None) -> TaskGraph:
+    """Generate a validated layered DAG matching ``config``.
+
+    Structure: ``n_sources`` sources feed layer 0; each layer feeds the
+    next; the last layer feeds a single ``control`` sink.  Every non-source
+    task has at least one predecessor in the previous layer (connectivity)
+    plus random extra edges.  Execution times start uniform and are then
+    scaled so the estimated utilization matches the target.
+    """
+    cfg = config or GeneratorConfig()
+    rng = random.Random(cfg.seed)
+    g = TaskGraph()
+    deadline = cfg.deadline_factor / cfg.source_rate
+
+    def crit() -> Criticality:
+        return (
+            Criticality.HIGH
+            if rng.random() < cfg.high_criticality_fraction
+            else Criticality.LOW
+        )
+
+    sources = []
+    for i in range(cfg.n_sources):
+        name = f"source_{i}"
+        g.add_task(
+            TaskSpec(
+                name,
+                priority=cfg.n_layers + 2,
+                relative_deadline=deadline,
+                exec_model=UniformExecTime(0.0005, 0.0015),
+                rate=cfg.source_rate,
+                rate_range=cfg.rate_range,
+                criticality=crit(),
+            )
+        )
+        sources.append(name)
+
+    previous = sources
+    for layer in range(cfg.n_layers):
+        current: List[str] = []
+        priority = cfg.n_layers + 1 - layer  # later layers more important
+        for j in range(cfg.tasks_per_layer):
+            name = f"layer{layer}_task{j}"
+            g.add_task(
+                TaskSpec(
+                    name,
+                    priority=priority,
+                    relative_deadline=deadline,
+                    exec_model=UniformExecTime(0.001, 0.003),
+                    criticality=crit(),
+                )
+            )
+            g.add_edge(rng.choice(previous), name)  # backward connectivity
+            for pred in previous:
+                if rng.random() < cfg.edge_density:
+                    g.add_edge(pred, name)
+            current.append(name)
+        # Forward connectivity: every task in the previous layer must feed
+        # something, or it would become a spurious sink.
+        for pred in previous:
+            if not g.isucc(pred):
+                g.add_edge(pred, rng.choice(current))
+        previous = current
+
+    g.add_task(
+        TaskSpec(
+            "control",
+            priority=1,
+            relative_deadline=deadline,
+            exec_model=UniformExecTime(0.0005, 0.0015),
+            criticality=Criticality.HIGH,
+        )
+    )
+    for pred in previous:
+        g.add_edge(pred, "control")
+
+    # Scale execution times to the utilization target.
+    current_util = estimated_utilization(g, cfg.n_processors)
+    if current_util > 0:
+        scale = cfg.target_utilization / current_util
+        for spec in g:
+            model = spec.exec_model
+            assert isinstance(model, UniformExecTime)
+            spec.exec_model = UniformExecTime(model.lo * scale, model.hi * scale)
+
+    g.validate()
+    return g

@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII line chart."""
+
+import pytest
+
+from repro.analysis import line_chart
+
+
+class TestLineChart:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, width=5)
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, height=2)
+
+    def test_empty_series(self):
+        out = line_chart({}, title="T")
+        assert "no data" in out
+
+    def test_all_empty_points(self):
+        assert "no data" in line_chart({"a": []})
+
+    def test_single_series_rendered(self):
+        out = line_chart({"ramp": [(0.0, 0.0), (10.0, 1.0)]}, title="Ramp",
+                         width=40, height=8)
+        assert out.splitlines()[0] == "Ramp"
+        assert "*" in out
+        assert "*=ramp" in out
+
+    def test_axis_labels_reflect_range(self):
+        out = line_chart({"a": [(2.0, -3.0), (7.0, 5.0)]}, width=40, height=8)
+        assert "5" in out and "-3" in out
+        assert "2" in out and "7" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = line_chart(
+            {"one": [(0, 0), (1, 1)], "two": [(0, 1), (1, 0)]},
+            width=30, height=6,
+        )
+        assert "*=one" in out and "o=two" in out
+        body = "\n".join(out.splitlines()[:-3])
+        assert "*" in body and "o" in body
+
+    def test_flat_series_centered(self):
+        out = line_chart({"flat": [(0.0, 2.0), (1.0, 2.0)]}, width=30, height=7)
+        # Flat data must not crash (degenerate value range is padded).
+        assert "*" in out
+
+    def test_y_label_in_footer(self):
+        out = line_chart({"a": [(0, 0), (1, 1)]}, y_label="m/s", width=30, height=6)
+        assert "[m/s]" in out.splitlines()[-1]
+
+    def test_values_within_plot_bounds(self):
+        # Every marker cell falls inside the grid.
+        out = line_chart({"a": [(0, 0), (0.5, 100.0), (1, -100.0)]},
+                         width=30, height=6)
+        lines = out.splitlines()
+        grid = [l for l in lines if "|" in l]
+        assert all(len(l) <= 9 + 1 + 30 for l in grid)
+
+    def test_doctest_example(self):
+        art = line_chart({"ramp": [(0, 0.0), (1, 1.0)]}, width=20, height=5)
+        assert "ramp" in art

@@ -1,0 +1,74 @@
+"""Tests for end-to-end chain latency attribution."""
+
+import pytest
+
+from repro.analysis.chains import chain_budget, render_chain_budget
+from repro.rt import RTExecutor, SimConfig, TraceRecorder
+from repro.schedulers import EDFScheduler
+from repro.workloads import full_task_graph
+from tests.conftest import build_chain_graph
+
+
+def traced_chain_run(horizon=2.0):
+    g = build_chain_graph()
+    ex = RTExecutor(g, EDFScheduler(), SimConfig(n_processors=2, horizon=horizon, seed=1))
+    ex.tracer = TraceRecorder()
+    ex.run()
+    return g, ex.tracer
+
+
+class TestChainBudget:
+    def test_default_path_is_longest(self):
+        g, tracer = traced_chain_run()
+        budget = chain_budget(g, tracer)
+        assert budget.path == ["source", "middle", "sink"]
+
+    def test_stage_statistics(self):
+        g, tracer = traced_chain_run()
+        budget = chain_budget(g, tracer)
+        for stage in budget.stages:
+            assert stage.executions > 0
+            assert stage.mean_exec > 0.0
+            assert stage.mean_wait >= 0.0
+            assert 0.0 <= stage.miss_ratio <= 1.0
+        # Constant exec models: the middle stage (0.004 s) dominates.
+        assert budget.bottleneck().task == "middle"
+
+    def test_totals_add_up(self):
+        g, tracer = traced_chain_run()
+        budget = chain_budget(g, tracer)
+        assert budget.total == pytest.approx(budget.total_wait + budget.total_exec)
+
+    def test_explicit_path(self):
+        g, tracer = traced_chain_run()
+        budget = chain_budget(g, tracer, path=["middle", "sink"])
+        assert budget.path == ["middle", "sink"]
+
+    def test_unknown_path_task_raises(self):
+        g, tracer = traced_chain_run()
+        with pytest.raises(Exception):
+            chain_budget(g, tracer, path=["nope"])
+
+    def test_untraced_task_zero_stats(self):
+        g, tracer = traced_chain_run(horizon=2.0)
+        empty = TraceRecorder()
+        budget = chain_budget(g, empty)
+        assert all(s.executions == 0 for s in budget.stages)
+        assert budget.bottleneck().mean_total == 0.0
+
+    def test_render(self):
+        g, tracer = traced_chain_run()
+        out = render_chain_budget(chain_budget(g, tracer))
+        assert "source → middle → sink" in out
+        assert "TOTAL (path sum)" in out
+
+    def test_full_graph_chain(self):
+        g = full_task_graph()
+        ex = RTExecutor(g, EDFScheduler(), SimConfig(n_processors=2, horizon=1.0, seed=0))
+        ex.tracer = TraceRecorder()
+        ex.run()
+        budget = chain_budget(g, ex.tracer)
+        # The longest chain runs from a camera/lidar source to the command.
+        assert budget.path[-1] == "control_command"
+        assert "sensor_fusion" in budget.path
+        assert budget.bottleneck().task == "sensor_fusion"

@@ -1,0 +1,109 @@
+"""Unit and property tests for the Algebraic Differentiation Estimator."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlgebraicDifferentiator
+
+
+def feed(ade, fn, t0=0.0, t1=3.0, dt=0.01):
+    t = t0
+    while t <= t1 + 1e-12:
+        ade.add_sample(t, fn(t))
+        t += dt
+    return ade
+
+
+class TestBasics:
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            AlgebraicDifferentiator(window=0.0)
+
+    def test_empty_estimate_is_zero(self):
+        assert AlgebraicDifferentiator(1.0).estimate() == 0.0
+
+    def test_single_sample_estimate_is_zero(self):
+        ade = AlgebraicDifferentiator(1.0)
+        ade.add_sample(0.0, 5.0)
+        assert ade.estimate() == 0.0
+
+    def test_out_of_order_rejected(self):
+        ade = AlgebraicDifferentiator(1.0)
+        ade.add_sample(1.0, 0.0)
+        with pytest.raises(ValueError, match="out-of-order"):
+            ade.add_sample(0.5, 0.0)
+
+    def test_equal_timestamps_allowed(self):
+        ade = AlgebraicDifferentiator(1.0)
+        ade.add_sample(1.0, 0.0)
+        ade.add_sample(1.0, 0.1)  # same instant: fine (sensor burst)
+
+    def test_clear(self):
+        ade = feed(AlgebraicDifferentiator(1.0), lambda t: t)
+        ade.clear()
+        assert len(ade) == 0
+        assert ade.estimate() == 0.0
+
+    def test_window_evicts_old_samples(self):
+        ade = AlgebraicDifferentiator(window=0.5)
+        for k in range(200):
+            ade.add_sample(k * 0.01, 0.0)
+        # Roughly window/dt samples retained (plus the edge sample).
+        assert len(ade) <= 0.5 / 0.01 + 2
+
+
+class TestAccuracy:
+    def test_constant_signal_zero_derivative(self):
+        ade = feed(AlgebraicDifferentiator(1.0), lambda t: 7.5)
+        assert ade.estimate() == pytest.approx(0.0, abs=1e-9)
+
+    def test_linear_ramp(self):
+        ade = feed(AlgebraicDifferentiator(1.0), lambda t: 2.0 * t)
+        assert ade.estimate() == pytest.approx(2.0, rel=1e-3)
+
+    def test_negative_slope(self):
+        ade = feed(AlgebraicDifferentiator(1.0), lambda t: -3.0 * t + 1.0)
+        assert ade.estimate() == pytest.approx(-3.0, rel=1e-3)
+
+    def test_sine_derivative_tracks_cosine(self):
+        # With a short window the estimate approximates cos(t) with lag.
+        ade = AlgebraicDifferentiator(window=0.3)
+        feed(ade, math.sin, t1=2.0, dt=0.005)
+        true = math.cos(2.0)
+        assert ade.estimate() == pytest.approx(true, abs=0.15)
+
+    def test_noise_attenuation(self):
+        # The windowed integral should beat naive finite differences on a
+        # noisy ramp.
+        rng = random.Random(3)
+        ade = AlgebraicDifferentiator(window=1.0)
+        samples = []
+        for k in range(400):
+            t = k * 0.01
+            v = 2.0 * t + rng.gauss(0.0, 0.05)
+            samples.append((t, v))
+            ade.add_sample(t, v)
+        naive = (samples[-1][1] - samples[-2][1]) / 0.01
+        assert abs(ade.estimate() - 2.0) < abs(naive - 2.0)
+        assert ade.estimate() == pytest.approx(2.0, abs=0.3)
+
+    @given(
+        slope=st.floats(min_value=-10.0, max_value=10.0),
+        intercept=st.floats(min_value=-5.0, max_value=5.0),
+    )
+    @settings(max_examples=40)
+    def test_linear_functions_recovered(self, slope, intercept):
+        ade = AlgebraicDifferentiator(window=1.0)
+        feed(ade, lambda t: slope * t + intercept, t1=2.0)
+        assert ade.estimate() == pytest.approx(slope, rel=1e-2, abs=1e-3)
+
+    def test_partial_window_still_estimates(self):
+        # Fewer samples than the window width: effective-width integral.
+        ade = AlgebraicDifferentiator(window=10.0)
+        for k in range(20):
+            ade.add_sample(k * 0.01, 4.0 * k * 0.01)
+        assert ade.estimate() == pytest.approx(4.0, rel=5e-2)

@@ -1,0 +1,47 @@
+"""The Fig. 5 toy example must match the paper exactly."""
+
+import pytest
+
+from repro.experiments import fig05_toy
+
+
+class TestFig05:
+    def test_paper_numbers_exact(self):
+        result = fig05_toy.run()
+        assert result.adaptive_commands == [7.0, 8.0, 9.0]
+        assert result.preferred_commands == [3.0, 6.0, 9.0]
+
+    def test_both_schedules_meet_all_deadlines(self):
+        result = fig05_toy.run()
+        assert result.adaptive_misses == []
+        assert result.preferred_misses == []
+
+    def test_nine_jobs(self):
+        assert len(fig05_toy.paper_jobs()) == 9
+
+    def test_adaptive_is_edf_order(self):
+        jobs = fig05_toy.paper_jobs()
+        schedule = fig05_toy.schedule_adaptive(jobs)
+        deadlines = [j.deadline for j, _ in schedule]
+        assert deadlines == sorted(deadlines)
+
+    def test_preferred_is_cycle_major(self):
+        jobs = fig05_toy.paper_jobs()
+        schedule = fig05_toy.schedule_preferred(jobs)
+        cycles = [j.cycle for j, _ in schedule]
+        assert cycles == [1, 1, 1, 2, 2, 2, 3, 3, 3]
+
+    def test_command_times_per_cycle(self):
+        jobs = fig05_toy.paper_jobs()
+        sched = fig05_toy.schedule_preferred(jobs)
+        assert fig05_toy.command_times(sched) == [3.0, 6.0, 9.0]
+
+    def test_render_contains_both_rows(self):
+        out = fig05_toy.render(fig05_toy.run())
+        assert "adaptive" in out and "preferred" in out and "none" in out
+
+    def test_deadline_miss_detection(self):
+        # Swap deadlines so the cycle-major order misses t1-1's 1 s deadline.
+        jobs = [fig05_toy.ToyJob(task=2, cycle=1, deadline=1.0)] * 2
+        schedule = fig05_toy._simulate(jobs)
+        assert fig05_toy.deadline_misses(schedule) == ["t2-1"]

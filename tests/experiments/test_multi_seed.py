@@ -1,0 +1,57 @@
+"""Tests for the multi-seed robustness harness."""
+
+import pytest
+
+from repro.experiments.multi_seed import MetricSummary, render, run_multi_seed
+from repro.workloads import fig13_car_following
+
+
+class TestMetricSummary:
+    def test_statistics(self):
+        s = MetricSummary(scheme="X", values=[1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert s.min == 1.0 and s.max == 3.0
+
+    def test_single_value_std_zero(self):
+        assert MetricSummary(scheme="X", values=[5.0]).std == 0.0
+
+
+class TestRunMultiSeed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Short horizon, 3 seeds, 2 schemes: fast but meaningful.
+        return run_multi_seed(
+            lambda: fig13_car_following(horizon=20.0),
+            metric=lambda r: r.speed_error_rms(),
+            metric_name="speed RMS",
+            seeds=range(3),
+            schemes=("EDF", "HCPerf"),
+        )
+
+    def test_all_schemes_summarized(self, result):
+        assert set(result.summaries) == {"EDF", "HCPerf"}
+        assert all(len(s.values) == 3 for s in result.summaries.values())
+
+    def test_wins_sum_to_seed_count(self, result):
+        assert sum(result.wins.values()) == 3
+
+    def test_win_ratio(self, result):
+        total = sum(result.win_ratio(s) for s in result.summaries)
+        assert total == pytest.approx(1.0)
+
+    def test_best_scheme(self, result):
+        best = result.best_scheme_by_mean()
+        assert best in ("EDF", "HCPerf")
+
+    def test_render(self, result):
+        out = render(result)
+        assert "speed RMS" in out and "wins" in out
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            run_multi_seed(
+                lambda: fig13_car_following(horizon=5.0),
+                metric=lambda r: 0.0,
+                seeds=[],
+            )

@@ -1,0 +1,84 @@
+"""Tests for the generic experiment runner."""
+
+import pytest
+
+from repro.experiments.runner import DEFAULT_SCHEMES, compare_schedulers, run_scenario
+from repro.workloads import fig13_car_following, lane_keeping_loop
+
+
+HORIZON = 6.0  # short: enough to exercise the machinery, fast in CI
+
+
+class TestRunScenario:
+    @pytest.mark.parametrize("scheme", DEFAULT_SCHEMES)
+    def test_all_schemes_run(self, scheme):
+        r = run_scenario(fig13_car_following(horizon=HORIZON), scheme, seed=0)
+        assert r.scheduler == scheme
+        assert r.horizon == pytest.approx(HORIZON, abs=0.2)
+        assert 0.0 <= r.overall_miss_ratio() <= 1.0
+        assert r.control_throughput() > 0.0
+        assert r.speed_error_rms() >= 0.0
+        assert r.distance_error_rms() >= 0.0
+
+    def test_lane_keeping_metrics(self):
+        r = run_scenario(lane_keeping_loop(horizon=HORIZON), "EDF", seed=0)
+        assert r.lateral_offset_rms() >= 0.0
+        with pytest.raises(TypeError):
+            r.speed_error_rms()
+
+    def test_car_following_rejects_lateral_metric(self):
+        r = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=0)
+        with pytest.raises(TypeError):
+            r.lateral_offset_rms()
+
+    def test_scheduler_instance_accepted(self):
+        from repro.schedulers import EDFScheduler
+
+        r = run_scenario(fig13_car_following(horizon=HORIZON), EDFScheduler(), seed=0)
+        assert r.scheduler == "EDF"
+
+    def test_hcperf_records_gamma_history(self):
+        r = run_scenario(fig13_car_following(horizon=HORIZON), "HCPerf", seed=0)
+        assert r.gamma_history
+        assert all(g >= 0.0 for _, g in r.gamma_history)
+
+    def test_baseline_has_no_gamma_history(self):
+        r = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=0)
+        assert r.gamma_history == []
+
+    def test_determinism(self):
+        a = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=5)
+        b = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=5)
+        assert a.speed_error_rms() == b.speed_error_rms()
+        assert a.overall_miss_ratio() == b.overall_miss_ratio()
+
+    def test_seed_changes_outcome(self):
+        a = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=1)
+        b = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=2)
+        assert a.speed_error_rms() != b.speed_error_rms()
+
+    def test_miss_series_time_ordered(self):
+        r = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=0)
+        times = [t for t, _ in r.miss_ratio_series()]
+        assert times == sorted(times)
+
+    def test_discomfort_report(self):
+        r = run_scenario(fig13_car_following(horizon=HORIZON), "EDF", seed=0)
+        report = r.discomfort_report()
+        assert report.rms_jerk >= 0.0
+
+
+class TestCompare:
+    def test_compare_runs_all_schemes(self):
+        results = compare_schedulers(
+            lambda: fig13_car_following(horizon=HORIZON), seed=0
+        )
+        assert set(results) == set(DEFAULT_SCHEMES)
+
+    def test_compare_subset(self):
+        results = compare_schedulers(
+            lambda: fig13_car_following(horizon=HORIZON),
+            schemes=("EDF", "HPF"),
+            seed=0,
+        )
+        assert set(results) == {"EDF", "HPF"}

@@ -1,0 +1,46 @@
+"""Tests for the fusion-cost sensitivity sweep."""
+
+import pytest
+
+from repro.experiments import sweep
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sweep.run_fusion_sweep(
+            elevations_ms=(20.0, 45.0),
+            schemes=("EDF", "HCPerf"),
+            horizon=25.0,
+            seed=1,
+        )
+
+    def test_points_per_elevation(self, result):
+        assert [p.elevated_ms for p in result.points] == [20.0, 45.0]
+
+    def test_all_schemes_recorded(self, result):
+        for p in result.points:
+            assert set(p.speed_rms) == {"EDF", "HCPerf"}
+            assert set(p.miss_ratio) == {"EDF", "HCPerf"}
+
+    def test_advantage_metric(self, result):
+        p = result.points[-1]
+        expected = p.speed_rms["EDF"] / p.speed_rms["HCPerf"]
+        assert p.advantage("EDF") == pytest.approx(expected)
+
+    def test_advantage_grows_with_overload(self, result):
+        assert result.advantage_grows("EDF")
+
+    def test_deeper_overload_more_baseline_misses(self, result):
+        assert (
+            result.points[-1].miss_ratio["EDF"]
+            > result.points[0].miss_ratio["EDF"]
+        )
+
+    def test_render(self, result):
+        out = sweep.render(result)
+        assert "20 ms" in out and "45 ms" in out and "advantage" in out
+
+    def test_empty_elevations_rejected(self):
+        with pytest.raises(ValueError):
+            sweep.run_fusion_sweep(elevations_ms=())

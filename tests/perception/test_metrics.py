@@ -1,0 +1,111 @@
+"""Unit tests for the tracking-quality metrics."""
+
+import pytest
+
+from repro.perception import (
+    CameraDetector,
+    LidarDetector,
+    Obstacle,
+    PerceptionPipeline,
+    Scene,
+    SceneGenerator,
+    TrackingEvaluator,
+)
+from repro.perception.tracking import KalmanTrack
+
+
+def truth_scene(positions, t=0.0):
+    return Scene(
+        t=t,
+        obstacles=[Obstacle(i, x, y) for i, (x, y) in enumerate(positions)],
+    )
+
+
+def track_at(x, y, t=0.0):
+    return KalmanTrack(x, y, t=t)
+
+
+class TestEvaluator:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrackingEvaluator(gate=0.0)
+
+    def test_perfect_match(self):
+        ev = TrackingEvaluator()
+        frame = ev.observe(truth_scene([(0, 0), (10, 10)]),
+                           [track_at(0, 0), track_at(10, 10)])
+        assert frame.matched == 2
+        assert frame.recall == 1.0 and frame.precision == 1.0
+        assert max(frame.position_errors) == pytest.approx(0.0)
+
+    def test_missed_truth_lowers_recall(self):
+        ev = TrackingEvaluator()
+        frame = ev.observe(truth_scene([(0, 0), (50, 50)]), [track_at(0, 0)])
+        assert frame.matched == 1
+        assert frame.recall == pytest.approx(0.5)
+        assert frame.precision == 1.0
+
+    def test_false_track_lowers_precision(self):
+        ev = TrackingEvaluator()
+        frame = ev.observe(truth_scene([(0, 0)]),
+                           [track_at(0, 0), track_at(99, 99)])
+        assert frame.precision == pytest.approx(0.5)
+
+    def test_gate_prevents_distant_matches(self):
+        ev = TrackingEvaluator(gate=1.0)
+        frame = ev.observe(truth_scene([(0, 0)]), [track_at(5, 0)])
+        assert frame.matched == 0
+
+    def test_empty_frames(self):
+        ev = TrackingEvaluator()
+        frame = ev.observe(truth_scene([]), [])
+        assert frame.recall == 1.0 and frame.precision == 1.0
+
+    def test_id_switch_detected(self):
+        ev = TrackingEvaluator()
+        a, b = track_at(0, 0), track_at(10, 0)
+        ev.observe(truth_scene([(0, 0)]), [a])
+        # The same truth obstacle is now explained by a different track.
+        frame = ev.observe(truth_scene([(10, 0)]), [b])
+        assert frame.id_switches == 1
+
+    def test_no_switch_when_track_persists(self):
+        ev = TrackingEvaluator()
+        a = track_at(0, 0)
+        ev.observe(truth_scene([(0, 0)]), [a])
+        a.state[0] = 1.0
+        frame = ev.observe(truth_scene([(1.0, 0)]), [a])
+        assert frame.id_switches == 0
+
+    def test_summary_aggregates(self):
+        ev = TrackingEvaluator()
+        ev.observe(truth_scene([(0, 0)]), [track_at(0.5, 0)])
+        ev.observe(truth_scene([(0, 0)]), [track_at(0.5, 0)])
+        q = ev.summary()
+        assert q.frames == 2
+        assert q.rmse == pytest.approx(0.5)
+        assert q.mean_recall == 1.0
+
+    def test_empty_summary(self):
+        q = TrackingEvaluator().summary()
+        assert q.frames == 0 and q.rmse == 0.0
+
+
+class TestPipelineQuality:
+    def test_pipeline_tracks_well_on_slow_scene(self):
+        """End-to-end quality gate: the stack tracks a mild scene."""
+        gen = SceneGenerator(lambda t: 6, seed=0, speed_scale=0.5)
+        pipe = PerceptionPipeline(
+            camera=CameraDetector(seed=1, miss_prob=0.02),
+            lidar=LidarDetector(seed=2, miss_prob=0.01),
+        )
+        ev = TrackingEvaluator(gate=3.0)
+        for k in range(30):
+            scene = gen.at(k * 0.1)
+            frame = pipe.process(scene, ego_speed=10.0)
+            if k >= 5:  # let tracks confirm
+                ev.observe(scene, pipe.tracker.confirmed())
+        q = ev.summary()
+        assert q.mean_recall > 0.8
+        assert q.mean_precision > 0.8
+        assert q.rmse < 1.0

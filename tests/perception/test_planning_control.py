@@ -1,0 +1,156 @@
+"""Unit tests for the planner, PID controller and end-to-end pipeline."""
+
+import pytest
+
+from repro.perception import (
+    LongitudinalPlanner,
+    PIDConfig,
+    PIDController,
+    PerceptionPipeline,
+    PlanningConfig,
+    PredictedTrajectory,
+    SceneGenerator,
+    SpeedController,
+)
+
+
+def traj(track_id, x, y, vx=0.0, t0=0.0, dt=0.25, steps=13):
+    points = tuple((x + vx * k * dt, y) for k in range(steps))
+    return PredictedTrajectory(track_id=track_id, t0=t0, dt=dt, points=points)
+
+
+class TestPlanner:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PlanningConfig(cruise_speed=-1.0)
+        with pytest.raises(ValueError):
+            PlanningConfig(corridor_halfwidth=0.0)
+        with pytest.raises(ValueError):
+            PlanningConfig(time_headway=-1.0)
+
+    def test_cruise_when_clear(self):
+        p = LongitudinalPlanner(PlanningConfig(cruise_speed=15.0))
+        plan = p.plan([], ego_speed=10.0, t=0.0)
+        assert plan.target_speed == 15.0
+        assert plan.constraint_track is None
+
+    def test_ignores_out_of_corridor(self):
+        p = LongitudinalPlanner(PlanningConfig(corridor_halfwidth=2.0))
+        plan = p.plan([traj(1, 20.0, 5.0)], ego_speed=10.0, t=0.0)
+        assert plan.constraint_track is None
+
+    def test_ignores_behind(self):
+        p = LongitudinalPlanner()
+        plan = p.plan([traj(1, -5.0, 0.0)], ego_speed=10.0, t=0.0)
+        assert plan.constraint_track is None
+
+    def test_nearest_leader_selected(self):
+        p = LongitudinalPlanner()
+        plan = p.plan([traj(1, 50.0, 0.0), traj(2, 20.0, 0.0)], ego_speed=10.0, t=0.0)
+        assert plan.constraint_track == 2
+        assert plan.gap == pytest.approx(20.0)
+
+    def test_standstill_buffer_forces_stop(self):
+        p = LongitudinalPlanner(PlanningConfig(standstill_gap=5.0))
+        plan = p.plan([traj(1, 3.0, 0.0)], ego_speed=5.0, t=0.0)
+        assert plan.target_speed == 0.0
+
+    def test_intrusion_scales_toward_leader_speed(self):
+        cfg = PlanningConfig(standstill_gap=5.0, time_headway=1.0, cruise_speed=20.0)
+        p = LongitudinalPlanner(cfg)
+        # Leader at 10 m gap moving 8 m/s; ego 10 m/s -> safe gap 15.
+        plan = p.plan([traj(1, 10.0, 0.0, vx=8.0)], ego_speed=10.0, t=0.0)
+        assert 0.0 < plan.target_speed < 8.0 + 1e-9
+
+    def test_far_leader_follows_at_speed(self):
+        p = LongitudinalPlanner(PlanningConfig(cruise_speed=20.0))
+        plan = p.plan([traj(1, 60.0, 0.0, vx=12.0)], ego_speed=10.0, t=0.0)
+        assert plan.target_speed <= 20.0
+        assert plan.target_speed >= 10.0
+
+
+class TestPID:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PIDConfig(out_min=1.0, out_max=0.0)
+
+    def test_proportional(self):
+        pid = PIDController(PIDConfig(kp=2.0))
+        assert pid.update(1.0, 0.0) == pytest.approx(2.0)
+
+    def test_output_clamped(self):
+        pid = PIDController(PIDConfig(kp=100.0, out_min=-1.0, out_max=1.0))
+        assert pid.update(5.0, 0.0) == 1.0
+        assert pid.update(-5.0, 0.1) == -1.0
+
+    def test_integral_accumulates(self):
+        pid = PIDController(PIDConfig(kp=0.0, ki=1.0, out_min=-10, out_max=10))
+        pid.update(1.0, 0.0)
+        out = pid.update(1.0, 1.0)
+        assert out == pytest.approx(1.0)
+
+    def test_anti_windup_freezes_integral_when_saturated(self):
+        pid = PIDController(PIDConfig(kp=0.0, ki=1.0, out_min=-0.5, out_max=0.5))
+        for k in range(10):
+            pid.update(10.0, float(k))
+        # Flip the error: recovery must be immediate, not delayed by windup.
+        out = pid.update(-10.0, 10.0)
+        assert out == -0.5
+
+    def test_derivative_term(self):
+        pid = PIDController(PIDConfig(kp=0.0, kd=1.0, out_min=-10, out_max=10))
+        pid.update(0.0, 0.0)
+        out = pid.update(1.0, 1.0)  # de/dt = 1
+        assert out == pytest.approx(1.0)
+
+    def test_time_must_be_monotone(self):
+        pid = PIDController()
+        pid.update(0.0, 1.0)
+        with pytest.raises(ValueError):
+            pid.update(0.0, 0.5)
+
+    def test_reset(self):
+        pid = PIDController(PIDConfig(kp=0.0, ki=1.0))
+        pid.update(1.0, 0.0)
+        pid.update(1.0, 1.0)
+        pid.reset()
+        assert pid.update(0.0, 2.0) == 0.0
+
+
+class TestSpeedController:
+    def test_sign_convention(self):
+        c = SpeedController()
+        assert c.accel_command(target_speed=15.0, current_speed=10.0, t=0.0) > 0
+        c2 = SpeedController()
+        assert c2.accel_command(target_speed=5.0, current_speed=10.0, t=0.0) < 0
+
+
+class TestPipeline:
+    def test_full_frame(self):
+        gen = SceneGenerator(lambda t: 8, seed=0)
+        pipe = PerceptionPipeline()
+        frame = pipe.process(gen.at(0.0), ego_speed=10.0)
+        assert len(frame.camera) <= 8 and len(frame.lidar) <= 8
+        assert frame.fused
+        assert set(frame.stage_seconds) == {
+            "camera", "lidar", "fusion", "tracking", "prediction", "planning", "control",
+        }
+        assert all(v >= 0.0 for v in frame.stage_seconds.values())
+
+    def test_tracks_confirm_over_frames(self):
+        gen = SceneGenerator(lambda t: 5, seed=1, speed_scale=0.5)
+        pipe = PerceptionPipeline()
+        frames = [pipe.process(gen.at(k * 0.1), 10.0) for k in range(6)]
+        assert frames[-1].n_tracks > 0
+
+    def test_plan_reacts_to_blocker(self):
+        from repro.perception import Obstacle, Scene
+
+        pipe = PerceptionPipeline()
+        # A stationary obstacle dead ahead in the corridor.
+        blocked = Scene(t=0.0, obstacles=[Obstacle(0, 12.0, 0.0)])
+        for k in range(5):
+            blocked.t = k * 0.1
+            frame = pipe.process(blocked, ego_speed=10.0)
+        assert frame.plan.target_speed < pipe.planner.config.cruise_speed
+        assert frame.accel_command < 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for Kalman tracking and constant-velocity prediction."""
+
+import pytest
+
+from repro.perception import (
+    ConstantVelocityPredictor,
+    FusedObstacle,
+    KalmanTrack,
+    MultiObjectTracker,
+    TrackerConfig,
+)
+
+
+def obs(x, y, t=0.0, truth=None):
+    return FusedObstacle(x=x, y=y, t=t, n_sensors=2, truth_id=truth)
+
+
+class TestKalmanTrack:
+    def test_initial_state(self):
+        tr = KalmanTrack(1.0, 2.0, t=0.0)
+        assert tr.position() == (1.0, 2.0)
+        assert tr.velocity() == (0.0, 0.0)
+        assert tr.hits == 1
+
+    def test_predict_advances_with_velocity(self):
+        tr = KalmanTrack(0.0, 0.0, t=0.0)
+        tr.state[2] = 2.0  # vx
+        x, y = tr.predict(1.0)
+        assert x == pytest.approx(2.0)
+
+    def test_update_pulls_toward_measurement(self):
+        tr = KalmanTrack(0.0, 0.0, t=0.0)
+        tr.update(1.0, 0.0)
+        assert 0.0 < tr.position()[0] <= 1.0
+
+    def test_velocity_estimated_from_motion(self):
+        tr = KalmanTrack(0.0, 0.0, t=0.0)
+        for k in range(1, 30):
+            t = k * 0.1
+            tr.predict(t)
+            tr.update(2.0 * t, 0.0)  # moving at 2 m/s in x
+        vx, vy = tr.velocity()
+        assert vx == pytest.approx(2.0, rel=0.2)
+        assert abs(vy) < 0.2
+        assert tr.speed() == pytest.approx(2.0, rel=0.2)
+
+
+class TestTracker:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(gate_distance=0.0)
+        with pytest.raises(ValueError):
+            TrackerConfig(max_misses=0)
+
+    def test_track_created_and_confirmed(self):
+        trk = MultiObjectTracker(TrackerConfig(min_hits=2))
+        assert trk.step([obs(0.0, 0.0)], 0.0) == []  # 1 hit: unconfirmed
+        confirmed = trk.step([obs(0.1, 0.0, t=0.1)], 0.1)
+        assert len(confirmed) == 1
+
+    def test_track_id_stable_across_frames(self):
+        trk = MultiObjectTracker()
+        trk.step([obs(0.0, 0.0)], 0.0)
+        tid = trk.tracks[0].track_id
+        trk.step([obs(0.2, 0.0, t=0.1)], 0.1)
+        assert trk.tracks[0].track_id == tid
+
+    def test_track_dies_after_max_misses(self):
+        trk = MultiObjectTracker(TrackerConfig(max_misses=2))
+        trk.step([obs(0.0, 0.0)], 0.0)
+        for k in range(1, 4):
+            trk.step([], k * 0.1)
+        assert trk.tracks == []
+
+    def test_two_targets_tracked_separately(self):
+        trk = MultiObjectTracker(TrackerConfig(min_hits=1))
+        for k in range(5):
+            t = k * 0.1
+            confirmed = trk.step([obs(0.0 + t, 0.0, t=t), obs(20.0 - t, 5.0, t=t)], t)
+        assert len(confirmed) == 2
+
+    def test_gate_prevents_wild_association(self):
+        trk = MultiObjectTracker(TrackerConfig(gate_distance=1.0, min_hits=1))
+        trk.step([obs(0.0, 0.0)], 0.0)
+        trk.step([obs(50.0, 0.0, t=0.1)], 0.1)
+        # The distant measurement spawned a new track instead of teleporting
+        # the old one.
+        assert len(trk.tracks) == 2
+
+
+class TestPredictor:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantVelocityPredictor(horizon=0.0)
+        with pytest.raises(ValueError):
+            ConstantVelocityPredictor(horizon=1.0, dt=2.0)
+
+    def test_extrapolates_velocity(self):
+        tr = KalmanTrack(1.0, 0.0, t=0.0)
+        tr.state[2] = 3.0
+        pred = ConstantVelocityPredictor(horizon=2.0, dt=0.5).predict([tr], 0.0)[0]
+        assert pred.position_at(1.0)[0] == pytest.approx(4.0)
+
+    def test_clamps_past_horizon(self):
+        tr = KalmanTrack(0.0, 0.0, t=0.0)
+        tr.state[2] = 1.0
+        pred = ConstantVelocityPredictor(horizon=1.0, dt=0.5).predict([tr], 0.0)[0]
+        assert pred.position_at(100.0)[0] == pytest.approx(1.0)
+
+    def test_before_t0_returns_start(self):
+        tr = KalmanTrack(5.0, 0.0, t=0.0)
+        pred = ConstantVelocityPredictor().predict([tr], 10.0)[0]
+        assert pred.position_at(0.0)[0] == pytest.approx(5.0)
+
+    def test_interpolates_between_steps(self):
+        tr = KalmanTrack(0.0, 0.0, t=0.0)
+        tr.state[2] = 2.0
+        pred = ConstantVelocityPredictor(horizon=1.0, dt=0.5).predict([tr], 0.0)[0]
+        assert pred.position_at(0.25)[0] == pytest.approx(0.5)

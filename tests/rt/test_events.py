@@ -1,0 +1,44 @@
+"""Unit tests for the event heap."""
+
+import pytest
+
+from repro.rt import Event, EventHeap, EventKind
+
+
+class TestEventHeap:
+    def test_orders_by_time(self):
+        heap = EventHeap()
+        heap.push(2.0, Event(EventKind.PERIODIC, "late"))
+        heap.push(1.0, Event(EventKind.PERIODIC, "early"))
+        t, e = heap.pop()
+        assert t == 1.0 and e.payload == "early"
+
+    def test_ties_break_in_insertion_order(self):
+        heap = EventHeap()
+        heap.push(1.0, Event(EventKind.PERIODIC, "first"))
+        heap.push(1.0, Event(EventKind.PERIODIC, "second"))
+        assert heap.pop()[1].payload == "first"
+        assert heap.pop()[1].payload == "second"
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventHeap().push(-1.0, Event(EventKind.PERIODIC))
+
+    def test_peek_time(self):
+        heap = EventHeap()
+        assert heap.peek_time() is None
+        heap.push(3.0, Event(EventKind.PERIODIC))
+        assert heap.peek_time() == 3.0
+        heap.push(1.5, Event(EventKind.PERIODIC))
+        assert heap.peek_time() == 1.5
+
+    def test_len_and_bool(self):
+        heap = EventHeap()
+        assert not heap and len(heap) == 0
+        heap.push(1.0, Event(EventKind.SOURCE_RELEASE, "x"))
+        assert heap and len(heap) == 1
+
+    def test_event_is_immutable(self):
+        e = Event(EventKind.JOB_FINISH, payload=(0, None))
+        with pytest.raises(Exception):
+            e.kind = EventKind.PERIODIC

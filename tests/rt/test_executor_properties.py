@@ -1,0 +1,131 @@
+"""Property-based tests of executor invariants.
+
+Hypothesis drives random small workloads through the engine; the invariants
+must hold for every one of them:
+
+* accounting closes: released = completed + missed + still-in-flight;
+* the platform never executes two jobs concurrently on one processor;
+* every job reported completed finished by its absolute deadline;
+* every late-finishing job is reported missed;
+* the miss ratio is in [0, 1] and utilization in [0, 1].
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rt import (
+    ConstantExecTime,
+    RTExecutor,
+    SimConfig,
+    TaskGraph,
+    TaskSpec,
+    TraceRecorder,
+    UniformExecTime,
+)
+from repro.schedulers import EDFScheduler, HCPerfScheduler, HPFScheduler
+
+
+@st.composite
+def workloads(draw):
+    """A random small chain/diamond workload plus platform parameters."""
+    rate = draw(st.sampled_from([10.0, 20.0, 40.0]))
+    exec_scale = draw(st.floats(min_value=0.2, max_value=3.0))
+    n_proc = draw(st.integers(min_value=1, max_value=3))
+    seed = draw(st.integers(min_value=0, max_value=999))
+    fan_out = draw(st.booleans())
+    scheduler = draw(st.sampled_from(["EDF", "HPF", "HCPerf"]))
+    return rate, exec_scale, n_proc, seed, fan_out, scheduler
+
+
+def build(rate, exec_scale, fan_out):
+    g = TaskGraph()
+    c = 0.004 * exec_scale
+    g.add_task(TaskSpec("src", priority=4, relative_deadline=0.08,
+                        exec_model=UniformExecTime(0.5 * c, c),
+                        rate=rate, rate_range=(5.0, 50.0)))
+    if fan_out:
+        for name in ("left", "right"):
+            g.add_task(TaskSpec(name, priority=3, relative_deadline=0.08,
+                                exec_model=ConstantExecTime(c)))
+            g.add_edge("src", name)
+        g.add_task(TaskSpec("sink", priority=1, relative_deadline=0.08,
+                            exec_model=ConstantExecTime(0.5 * c)))
+        g.add_edge("left", "sink")
+        g.add_edge("right", "sink")
+    else:
+        g.add_task(TaskSpec("mid", priority=2, relative_deadline=0.08,
+                            exec_model=ConstantExecTime(c)))
+        g.add_task(TaskSpec("sink", priority=1, relative_deadline=0.08,
+                            exec_model=ConstantExecTime(0.5 * c)))
+        g.add_edge("src", "mid")
+        g.add_edge("mid", "sink")
+    g.validate()
+    return g
+
+
+SCHEDULERS = {"EDF": EDFScheduler, "HPF": HPFScheduler, "HCPerf": HCPerfScheduler}
+
+
+@given(params=workloads())
+@settings(max_examples=30, deadline=None)
+def test_engine_invariants(params):
+    rate, exec_scale, n_proc, seed, fan_out, scheduler = params
+    graph = build(rate, exec_scale, fan_out)
+    executor = RTExecutor(
+        graph,
+        SCHEDULERS[scheduler](),
+        SimConfig(n_processors=n_proc, horizon=1.5, coordination_period=0.25,
+                  seed=seed),
+    )
+    executor.tracer = TraceRecorder()
+    metrics = executor.run()
+
+    # --- accounting closes ------------------------------------------------
+    for name, stats in metrics.per_task.items():
+        in_queue = sum(1 for j in executor.ready if j.task.name == name)
+        running = sum(
+            1 for p in executor.processors
+            if p.job is not None and p.job.task.name == name
+        )
+        assert stats.released == stats.completed + stats.missed + in_queue + running, name
+        assert stats.dropped <= stats.missed
+
+    # --- non-preemptive, no overlap ----------------------------------------
+    assert executor.tracer.verify_non_overlap() == []
+
+    # --- deadline bookkeeping ----------------------------------------------
+    for entry in executor.tracer.entries:
+        if entry.completed:
+            assert entry.finish <= entry.deadline + 1e-12
+        else:
+            assert entry.finish > entry.deadline - 1e-12
+        assert entry.start >= entry.release - 1e-12
+        assert entry.finish >= entry.start
+
+    # --- bounded ratios ----------------------------------------------------
+    assert 0.0 <= metrics.overall_miss_ratio <= 1.0
+    assert 0.0 <= executor.utilization() <= 1.0 + 1e-9
+    for w in metrics.windows:
+        assert 0.0 <= w.miss_ratio <= 1.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    n_proc=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=15, deadline=None)
+def test_rate_bounds_always_respected(seed, n_proc):
+    """Whatever HCPerf's adapter does, rates stay inside the allowable range."""
+    graph = build(rate=20.0, exec_scale=2.0, fan_out=True)
+    executor = RTExecutor(
+        graph,
+        HCPerfScheduler(),
+        SimConfig(n_processors=n_proc, horizon=3.0, coordination_period=0.25,
+                  seed=seed),
+    )
+    observed = []
+    executor.add_periodic("probe", 0.25, lambda t: observed.append(executor.get_rate("src")))
+    executor.run()
+    lo, hi = graph.task("src").rate_range
+    assert all(lo <= r <= hi for r in observed)

@@ -1,0 +1,114 @@
+"""Unit tests for execution tracing and the Gantt renderer."""
+
+import pytest
+
+from repro.rt import RTExecutor, SimConfig, TraceEntry, TraceRecorder, render_gantt
+from repro.schedulers import EDFScheduler
+from tests.conftest import build_chain_graph
+
+
+def traced_run(horizon=1.0, capacity=None, **graph_kwargs):
+    g = build_chain_graph(**graph_kwargs)
+    ex = RTExecutor(
+        g, EDFScheduler(), SimConfig(n_processors=2, horizon=horizon, seed=3)
+    )
+    ex.tracer = TraceRecorder(capacity=capacity)
+    ex.run()
+    return ex
+
+
+def entry(task="t", proc=0, start=0.0, finish=0.01, release=0.0,
+          deadline=0.1, cycle=0, completed=True):
+    return TraceEntry(
+        task=task, cycle=cycle, processor=proc, start=start, finish=finish,
+        release=release, deadline=deadline, completed=completed,
+    )
+
+
+class TestRecorder:
+    def test_records_every_execution(self):
+        ex = traced_run()
+        m = ex.metrics
+        executed = sum(
+            s.completed + (s.missed - s.dropped) for s in m.per_task.values()
+        )
+        assert len(ex.tracer) == executed
+
+    def test_capacity_bounds_memory(self):
+        ex = traced_run(capacity=5)
+        assert len(ex.tracer) == 5
+        assert ex.tracer.dropped > 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+    def test_entry_derived_properties(self):
+        e = entry(start=0.02, finish=0.05, release=0.01)
+        assert e.duration == pytest.approx(0.03)
+        assert e.waited == pytest.approx(0.01)
+
+    def test_grouping(self):
+        r = TraceRecorder()
+        r.record(entry(task="a", proc=0))
+        r.record(entry(task="b", proc=1))
+        r.record(entry(task="a", proc=1, start=0.02, finish=0.03))
+        assert set(r.by_processor()) == {0, 1}
+        assert len(r.by_task()["a"]) == 2
+
+    def test_mean_wait(self):
+        r = TraceRecorder()
+        r.record(entry(task="a", start=0.01, release=0.0))
+        r.record(entry(task="a", start=0.03, release=0.0))
+        assert r.mean_wait("a") == pytest.approx(0.02)
+        assert r.mean_wait("zzz") == 0.0
+
+
+class TestNonOverlapInvariant:
+    def test_real_run_is_clean(self):
+        ex = traced_run(rate=40.0, rate_range=(10.0, 50.0))
+        assert ex.tracer.verify_non_overlap() == []
+
+    def test_detects_synthetic_overlap(self):
+        r = TraceRecorder()
+        r.record(entry(task="a", proc=0, start=0.0, finish=0.05))
+        r.record(entry(task="b", proc=0, start=0.03, finish=0.08))
+        problems = r.verify_non_overlap()
+        assert len(problems) == 1 and "overlaps" in problems[0]
+
+    def test_touching_intervals_allowed(self):
+        r = TraceRecorder()
+        r.record(entry(task="a", proc=0, start=0.0, finish=0.05))
+        r.record(entry(task="b", proc=0, start=0.05, finish=0.08))
+        assert r.verify_non_overlap() == []
+
+
+class TestGantt:
+    def test_render_real_trace(self):
+        ex = traced_run()
+        out = render_gantt(ex.tracer, 0.0, 0.5, width=60)
+        assert "p0" in out
+        assert "=source" in out and "=sink" in out and "=middle" in out
+        # Distinct symbols per task (no first-letter collisions).
+        legend = out.splitlines()[-1]
+        symbols = [part.split("=")[0].strip() for part in legend[7:].split(",")]
+        assert len(set(symbols)) == 3
+
+    def test_missed_jobs_lowercase(self):
+        r = TraceRecorder()
+        r.record(entry(task="Miss", completed=False, start=0.0, finish=0.5))
+        out = render_gantt(r, 0.0, 1.0, width=10)
+        assert "a" in out.splitlines()[1]
+
+    def test_validation(self):
+        r = TraceRecorder()
+        with pytest.raises(ValueError):
+            render_gantt(r, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            render_gantt(r, 0.0, 1.0, width=5)
+
+    def test_out_of_window_entries_skipped(self):
+        r = TraceRecorder()
+        r.record(entry(task="a", proc=0, start=5.0, finish=6.0))
+        out = render_gantt(r, 0.0, 1.0, width=10)
+        assert "A" not in out.splitlines()[1]

@@ -1,0 +1,68 @@
+"""Unit tests for the extra classic baselines (RM, FIFO)."""
+
+import pytest
+
+from repro.rt import ConstantExecTime, RTExecutor, SimConfig, TaskGraph, TaskSpec
+from repro.schedulers import FIFOScheduler, RateMonotonicScheduler
+from repro.schedulers.classic import RateMonotonicScheduler as RM
+from tests.conftest import build_chain_graph
+from tests.schedulers.test_baselines import VIEW, job, spec
+
+
+class TestRateMonotonic:
+    def make_graph(self):
+        g = TaskGraph()
+        g.add_task(spec("fast", rate=50.0))
+        g.add_task(spec("slow", rate=5.0))
+        g.add_task(spec("joined"))
+        g.add_edge("fast", "joined")
+        g.add_edge("slow", "joined")
+        return g
+
+    def test_shorter_period_ranks_first(self):
+        g = self.make_graph()
+        s = RateMonotonicScheduler()
+        s.prepare(g, 2)
+        assert s.rank(job(g.task("fast")), 0.0, VIEW) < s.rank(
+            job(g.task("slow")), 0.0, VIEW
+        )
+
+    def test_joined_task_inherits_slowest_ancestor(self):
+        g = self.make_graph()
+        s = RateMonotonicScheduler()
+        s.prepare(g, 2)
+        # joined fires at min(fast, slow) = 5 Hz -> same rank as slow.
+        assert s.rank(job(g.task("joined")), 0.0, VIEW) == pytest.approx(1 / 5.0)
+
+    def test_unprepared_task_ranks_last(self):
+        s = RateMonotonicScheduler()
+        assert s.rank(job(spec("mystery")), 0.0, VIEW) == float("inf")
+
+    def test_executes_cleanly(self):
+        g = build_chain_graph()
+        ex = RTExecutor(g, RM(), SimConfig(n_processors=2, horizon=1.0, seed=0))
+        m = ex.run()
+        assert m.per_task["sink"].completed > 0
+
+
+class TestFIFO:
+    def test_release_order(self):
+        s = FIFOScheduler()
+        early = job(spec("a"), release=0.0)
+        late = job(spec("b"), release=1.0)
+        assert s.rank(early, 2.0, VIEW) < s.rank(late, 2.0, VIEW)
+
+    def test_executes_cleanly(self):
+        g = build_chain_graph()
+        ex = RTExecutor(g, FIFOScheduler(), SimConfig(n_processors=2, horizon=1.0, seed=0))
+        m = ex.run()
+        assert m.per_task["sink"].completed > 0
+
+    def test_fifo_is_worst_or_equal_under_overload(self):
+        """FIFO establishes the floor on the Fig. 13 overload."""
+        from repro.experiments.runner import run_scenario
+        from repro.workloads import fig13_car_following
+
+        fifo = run_scenario(fig13_car_following(horizon=20.0), "FIFO", seed=1)
+        hcperf = run_scenario(fig13_car_following(horizon=20.0), "HCPerf", seed=1)
+        assert hcperf.overall_miss_ratio() <= fifo.overall_miss_ratio() + 1e-9

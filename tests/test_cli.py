@@ -1,0 +1,92 @@
+"""CLI front-end tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list_is_default(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig13_car_following" in out and "overhead" in out
+
+    def test_explicit_list(self, capsys):
+        assert main(["list"]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_run_fig05(self, capsys):
+        assert main(["fig05_toy"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "preferred" in out
+
+    def test_run_overhead_with_seed(self, capsys):
+        assert main(["overhead", "--seed", "3"]) == 0
+        assert "coordination" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["does_not_exist"])
+
+    def test_parser_choices_cover_registry(self):
+        from repro.experiments import EXPERIMENTS
+
+        parser = build_parser()
+        for exp_id in EXPERIMENTS:
+            assert parser.parse_args([exp_id]).experiment == exp_id
+
+
+class TestRunSubcommand:
+    def test_run_text_output(self, capsys):
+        assert main(["run", "fig13", "EDF", "--horizon", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "miss ratio" in out and "speed_error_rms" in out
+
+    def test_run_json_output(self, capsys):
+        import json
+
+        assert main(["run", "fig13", "HCPerf", "--horizon", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "HCPerf"
+        assert "speed_error_rms" in payload
+
+    def test_run_lane_keeping(self, capsys):
+        assert main(["run", "lane_keeping", "EDF", "--horizon", "5"]) == 0
+        assert "lateral_offset_rms" in capsys.readouterr().out
+
+    def test_run_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["run", "flying", "EDF"])
+
+    def test_list_mentions_run(self, capsys):
+        main(["list"])
+        assert "hcperf run" in capsys.readouterr().out
+
+    def test_run_gantt(self, capsys):
+        assert main(["run", "fig13", "EDF", "--horizon", "3", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "gantt [" in out and "p0" in out
+
+    def test_run_chains(self, capsys):
+        assert main(["run", "fig13", "HCPerf", "--horizon", "3", "--chains"]) == 0
+        out = capsys.readouterr().out
+        assert "Chain latency budget" in out and "sensor_fusion" in out
+
+
+class TestValidateSubcommand:
+    def test_validate_healthy(self, capsys):
+        rc = main(["validate", "fig13"])
+        out = capsys.readouterr().out
+        assert "Platform check" in out
+        assert rc == 0
+
+    def test_validate_overloaded_nonzero_exit(self, capsys):
+        rc = main(["validate", "traffic_jam", "--complexity", "30"])
+        out = capsys.readouterr().out
+        assert "WARNINGS" in out
+        assert rc == 1
+
+    def test_validate_processor_override(self, capsys):
+        rc = main(["validate", "fig13", "--processors", "8"])
+        assert rc == 0
+        assert "8 processors" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""The example scripts run end-to-end (subprocess smoke tests)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 240.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "HCPerf" in out and "EDF" in out
+        assert "miss ratio" in out
+
+    def test_custom_scheduler(self):
+        out = run_example("custom_scheduler.py")
+        assert "LLF" in out and "HCPerf *" in out
+
+    def test_perception_pipeline_demo(self):
+        out = run_example("perception_pipeline_demo.py")
+        assert "fusion" in out
+        # The table has rows for growing obstacle counts.
+        assert " 60 " in out or "60" in out
+
+    def test_car_following_demo_short(self):
+        out = run_example("car_following_demo.py", "--horizon", "15")
+        assert "Speed tracking error" in out
+
+    def test_random_workload_demo(self):
+        out = run_example("random_workload_demo.py")
+        assert "Random 17-task DAG" in out
+
+    def test_all_examples_exist_and_documented(self):
+        scripts = sorted(EXAMPLES.glob("*.py"))
+        assert len(scripts) >= 5
+        for script in scripts:
+            head = script.read_text().split('"""')
+            assert len(head) >= 2, f"{script.name} missing module docstring"
+            assert "Run:" in head[1], f"{script.name} docstring missing run hint"

@@ -1,0 +1,106 @@
+"""Unit tests for the bicycle model and Stanley controller."""
+
+import math
+
+import pytest
+
+from repro.vehicle import BicycleDynamics, BicycleState, StanleyController
+
+
+class TestBicycle:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BicycleDynamics(wheelbase=0.0)
+        with pytest.raises(ValueError):
+            BicycleDynamics(max_steering=0.0)
+        with pytest.raises(ValueError):
+            BicycleDynamics(steering_lag=-0.1)
+
+    def test_straight_line(self):
+        d = BicycleDynamics()
+        s = BicycleState()
+        for _ in range(100):
+            d.step(s, 0.0, speed=5.0, dt=0.01)
+        assert s.x == pytest.approx(5.0)
+        assert s.y == pytest.approx(0.0)
+        assert s.heading == pytest.approx(0.0)
+
+    def test_turning_radius_matches_kinematics(self):
+        # R = L / tan(delta)
+        L, delta = 2.7, 0.2
+        d = BicycleDynamics(wheelbase=L)
+        s = BicycleState()
+        v, dt = 5.0, 0.001
+        # Drive half a circle worth of heading change.
+        while s.heading < math.pi / 2:
+            d.step(s, delta, v, dt)
+        expected_r = L / math.tan(delta)
+        # At quarter turn the displacement is R*sqrt(2) from start along 45°.
+        assert math.hypot(s.x, s.y) == pytest.approx(expected_r * math.sqrt(2), rel=0.02)
+
+    def test_steering_clamp(self):
+        d = BicycleDynamics(max_steering=0.3)
+        s = BicycleState()
+        d.step(s, 5.0, 1.0, 0.01)
+        assert s.steering == pytest.approx(0.3)
+
+    def test_steering_lag(self):
+        d = BicycleDynamics(steering_lag=0.5)
+        s = BicycleState()
+        d.step(s, 0.3, 1.0, 0.01)
+        assert 0.0 < s.steering < 0.05
+
+    def test_invalid_step_args(self):
+        d = BicycleDynamics()
+        with pytest.raises(ValueError):
+            d.step(BicycleState(), 0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            d.step(BicycleState(), 0.0, -1.0, 0.01)
+
+    def test_heading_normalized(self):
+        d = BicycleDynamics()
+        s = BicycleState()
+        for _ in range(10000):
+            d.step(s, 0.5, 10.0, 0.01)
+        assert -math.pi <= s.heading <= math.pi
+
+    def test_copy(self):
+        s = BicycleState(x=1.0, heading=0.5)
+        c = s.copy()
+        c.x = 99.0
+        assert s.x == 1.0
+
+
+class TestStanley:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StanleyController(k_offset=-1.0)
+        with pytest.raises(ValueError):
+            StanleyController(softening=0.0)
+
+    def test_steers_against_positive_offset(self):
+        c = StanleyController()
+        delta = c.steering_command(
+            lateral_offset=1.0, heading_error=0.0, speed=5.0, curvature=0.0, wheelbase=2.7
+        )
+        assert delta < 0.0  # left of lane -> steer right
+
+    def test_steers_against_heading_error(self):
+        c = StanleyController()
+        delta = c.steering_command(0.0, heading_error=0.2, speed=5.0, curvature=0.0, wheelbase=2.7)
+        assert delta < 0.0
+
+    def test_feedforward_on_curvature(self):
+        c = StanleyController()
+        delta = c.steering_command(0.0, 0.0, speed=5.0, curvature=1.0 / 15.0, wheelbase=2.7)
+        assert delta == pytest.approx(math.atan(2.7 / 15.0))
+
+    def test_zero_everything_is_zero(self):
+        c = StanleyController()
+        assert c.steering_command(0.0, 0.0, 5.0, 0.0, 2.7) == 0.0
+
+    def test_crosstrack_softening_at_low_speed(self):
+        c = StanleyController(k_offset=1.0, k_heading=0.0, softening=1.0)
+        slow = c.steering_command(1.0, 0.0, 0.0, 0.0, 2.7)
+        fast = c.steering_command(1.0, 0.0, 50.0, 0.0, 2.7)
+        assert abs(slow) > abs(fast)

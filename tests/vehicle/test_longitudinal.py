@@ -1,0 +1,110 @@
+"""Unit tests for longitudinal dynamics and the ACC law."""
+
+import math
+
+import pytest
+
+from repro.vehicle import ACCController, LongitudinalDynamics, LongitudinalState
+
+
+class TestDynamics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LongitudinalDynamics(max_accel=0.0)
+        with pytest.raises(ValueError):
+            LongitudinalDynamics(max_brake=-1.0)
+        with pytest.raises(ValueError):
+            LongitudinalDynamics(actuator_lag=-0.1)
+
+    def test_clamp(self):
+        d = LongitudinalDynamics(max_accel=2.0, max_brake=5.0)
+        assert d.clamp(10.0) == 2.0
+        assert d.clamp(-10.0) == -5.0
+        assert d.clamp(1.0) == 1.0
+
+    def test_constant_accel_integration(self):
+        d = LongitudinalDynamics(max_accel=5.0)
+        s = LongitudinalState(speed=0.0)
+        for _ in range(100):
+            d.step(s, 1.0, 0.01)
+        assert s.speed == pytest.approx(1.0, rel=1e-6)
+        assert s.position == pytest.approx(0.5, rel=1e-2)
+
+    def test_invalid_dt(self):
+        d = LongitudinalDynamics()
+        with pytest.raises(ValueError):
+            d.step(LongitudinalState(), 0.0, 0.0)
+
+    def test_no_reverse_under_braking(self):
+        d = LongitudinalDynamics(max_brake=10.0)
+        s = LongitudinalState(speed=0.5)
+        for _ in range(100):
+            d.step(s, -10.0, 0.01)
+        assert s.speed == 0.0
+        assert s.accel >= 0.0
+
+    def test_actuator_lag_smooths_response(self):
+        fast = LongitudinalDynamics(actuator_lag=0.0)
+        slow = LongitudinalDynamics(actuator_lag=0.5)
+        sf, ss = LongitudinalState(), LongitudinalState()
+        fast.step(sf, 2.0, 0.01)
+        slow.step(ss, 2.0, 0.01)
+        assert sf.accel == pytest.approx(2.0)
+        assert 0.0 < ss.accel < 0.1
+
+    def test_lag_converges_to_command(self):
+        d = LongitudinalDynamics(actuator_lag=0.1)
+        s = LongitudinalState()
+        for _ in range(500):
+            d.step(s, 1.5, 0.01)
+        assert s.accel == pytest.approx(1.5, rel=1e-3)
+
+    def test_state_copy_is_independent(self):
+        s = LongitudinalState(position=1.0, speed=2.0, accel=0.5)
+        c = s.copy()
+        c.speed = 99.0
+        assert s.speed == 2.0
+
+
+class TestACC:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ACCController(k_speed=-1.0)
+        with pytest.raises(ValueError):
+            ACCController(headway=-0.5)
+
+    def test_desired_gap(self):
+        acc = ACCController(headway=1.5, standstill_gap=5.0)
+        assert acc.desired_gap(10.0) == pytest.approx(20.0)
+        assert acc.desired_gap(0.0) == pytest.approx(5.0)
+
+    def test_accelerates_when_slower_than_lead(self):
+        acc = ACCController()
+        gap = acc.desired_gap(10.0)
+        assert acc.accel_command(v_lead=15.0, v_follow=10.0, gap=gap) > 0.0
+
+    def test_brakes_when_faster_than_lead(self):
+        acc = ACCController()
+        gap = acc.desired_gap(15.0)
+        assert acc.accel_command(v_lead=10.0, v_follow=15.0, gap=gap) < 0.0
+
+    def test_brakes_when_gap_too_small(self):
+        acc = ACCController()
+        assert acc.accel_command(v_lead=10.0, v_follow=10.0, gap=2.0) < 0.0
+
+    def test_equilibrium_is_zero_command(self):
+        acc = ACCController()
+        gap = acc.desired_gap(12.0)
+        assert acc.accel_command(12.0, 12.0, gap) == pytest.approx(0.0)
+
+    def test_closed_loop_converges_to_lead_speed(self):
+        acc = ACCController(k_speed=2.0, k_gap=0.3)
+        d = LongitudinalDynamics(max_accel=3.0, max_brake=6.0)
+        lead_v, lead_pos = 15.0, 40.0
+        s = LongitudinalState(speed=10.0)
+        for _ in range(4000):
+            lead_pos += lead_v * 0.01
+            cmd = acc.accel_command(lead_v, s.speed, lead_pos - s.position)
+            d.step(s, cmd, 0.01)
+        assert s.speed == pytest.approx(lead_v, abs=0.05)
+        assert (lead_pos - s.position) == pytest.approx(acc.desired_gap(lead_v), abs=0.5)

@@ -1,0 +1,106 @@
+"""Unit tests for lead-vehicle speed profiles."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vehicle import (
+    ConstantSpeed,
+    PiecewiseLinearSpeed,
+    SineSpeed,
+    hardware_routine,
+    red_light_routine,
+    traffic_jam_routine,
+)
+
+
+class TestConstant:
+    def test_value(self):
+        p = ConstantSpeed(12.0)
+        assert p.speed(0.0) == 12.0 and p.speed(99.0) == 12.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantSpeed(-1.0)
+
+
+class TestSine:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SineSpeed(lo=-1.0, hi=5.0, period=7.0)
+        with pytest.raises(ValueError):
+            SineSpeed(lo=5.0, hi=1.0, period=7.0)
+        with pytest.raises(ValueError):
+            SineSpeed(lo=1.0, hi=5.0, period=0.0)
+
+    def test_starts_at_midpoint(self):
+        p = SineSpeed(lo=10.0, hi=20.0, period=7.0)
+        assert p.speed(0.0) == pytest.approx(15.0)
+
+    def test_peak_at_quarter_period(self):
+        p = SineSpeed(lo=10.0, hi=20.0, period=8.0)
+        assert p.speed(2.0) == pytest.approx(20.0)
+        assert p.speed(6.0) == pytest.approx(10.0)
+
+    def test_periodicity(self):
+        p = SineSpeed(lo=10.0, hi=20.0, period=7.0)
+        assert p.speed(1.3) == pytest.approx(p.speed(1.3 + 7.0))
+
+    @given(t=st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=60)
+    def test_bounded(self, t):
+        p = SineSpeed(lo=10.0, hi=20.0, period=7.0)
+        assert 10.0 - 1e-9 <= p.speed(t) <= 20.0 + 1e-9
+
+    def test_phase_shift(self):
+        p = SineSpeed(lo=0.0, hi=2.0, period=4.0, phase=math.pi / 2)
+        assert p.speed(0.0) == pytest.approx(2.0)
+
+
+class TestPiecewise:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseLinearSpeed([])
+        with pytest.raises(ValueError):
+            PiecewiseLinearSpeed([(1.0, 5.0), (0.5, 3.0)])
+        with pytest.raises(ValueError):
+            PiecewiseLinearSpeed([(0.0, -1.0)])
+
+    def test_interpolation(self):
+        p = PiecewiseLinearSpeed([(0.0, 0.0), (10.0, 10.0)])
+        assert p.speed(5.0) == pytest.approx(5.0)
+
+    def test_holds_before_and_after(self):
+        p = PiecewiseLinearSpeed([(1.0, 2.0), (3.0, 6.0)])
+        assert p.speed(0.0) == 2.0
+        assert p.speed(99.0) == 6.0
+
+    def test_duplicate_time_steps(self):
+        p = PiecewiseLinearSpeed([(0.0, 1.0), (1.0, 1.0), (1.0, 5.0)])
+        assert p.speed(1.0) in (1.0, 5.0)  # step change at t=1
+
+
+class TestRoutines:
+    def test_hardware_routine_shape(self):
+        p = hardware_routine(v_cruise=1.0)
+        assert p.speed(0.0) == 0.0
+        assert p.speed(5.0) == pytest.approx(1.0)
+        assert p.speed(10.0) == pytest.approx(1.0)
+        assert p.speed(20.0) == pytest.approx(0.0)
+        assert 0.0 < p.speed(2.5) < 1.0
+
+    def test_red_light_routine_shape(self):
+        p = red_light_routine(v0=10.0, t_brake=5.0, t_stop=25.0)
+        assert p.speed(0.0) == 10.0
+        assert p.speed(5.0) == 10.0
+        assert p.speed(25.0) == 0.0
+        assert p.speed(15.0) == pytest.approx(5.0)
+
+    def test_traffic_jam_routine_shape(self):
+        p = traffic_jam_routine()
+        assert p.speed(0.0) == 20.0
+        assert p.speed(20.0) == pytest.approx(5.0)
+        assert p.speed(25.0) == pytest.approx(5.0)
+        assert p.speed(45.0) == pytest.approx(20.0)

@@ -1,0 +1,93 @@
+"""Unit tests for the oval track geometry."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vehicle import OvalTrack
+
+TRACK = OvalTrack(straight_length=60.0, radius=15.0)
+
+
+class TestGeometry:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OvalTrack(straight_length=0.0, radius=10.0)
+        with pytest.raises(ValueError):
+            OvalTrack(straight_length=10.0, radius=-1.0)
+
+    def test_length(self):
+        assert TRACK.length == pytest.approx(2 * 60.0 + 2 * math.pi * 15.0)
+
+    def test_wrap(self):
+        assert TRACK.wrap(TRACK.length + 5.0) == pytest.approx(5.0)
+        assert TRACK.wrap(-1.0) == pytest.approx(TRACK.length - 1.0)
+
+    def test_pose_at_origin(self):
+        x, y, h = TRACK.pose(0.0)
+        assert (x, y, h) == (0.0, 0.0, 0.0)
+
+    def test_pose_on_top_straight(self):
+        s = 60.0 + math.pi * 15.0 + 30.0  # middle of the top straight
+        x, y, h = TRACK.pose(s)
+        assert y == pytest.approx(30.0)
+        assert h == pytest.approx(math.pi)
+        assert x == pytest.approx(30.0)
+
+    def test_pose_continuity(self):
+        # Walk the whole loop; consecutive poses must be ~ds apart.
+        ds = 0.1
+        prev = TRACK.pose(0.0)
+        s = ds
+        while s <= TRACK.length + ds:
+            cur = TRACK.pose(s)
+            dist = math.hypot(cur[0] - prev[0], cur[1] - prev[1])
+            assert dist == pytest.approx(ds, rel=0.05)
+            prev = cur
+            s += ds
+
+    def test_closes_the_loop(self):
+        x0, y0, _ = TRACK.pose(0.0)
+        x1, y1, _ = TRACK.pose(TRACK.length)
+        assert math.hypot(x1 - x0, y1 - y0) < 1e-6
+
+
+class TestCurvature:
+    def test_zero_on_straights(self):
+        assert TRACK.curvature(30.0) == 0.0
+        top = 60.0 + math.pi * 15.0 + 30.0
+        assert TRACK.curvature(top) == 0.0
+
+    def test_one_over_r_on_turns(self):
+        first_turn = 60.0 + 1.0
+        assert TRACK.curvature(first_turn) == pytest.approx(1.0 / 15.0)
+
+    def test_on_turn_flag(self):
+        assert not TRACK.on_turn(30.0)
+        assert TRACK.on_turn(60.0 + 1.0)
+
+
+class TestProjection:
+    @given(s=st.floats(min_value=0.0, max_value=2 * 60.0 + 2 * math.pi * 15.0))
+    @settings(max_examples=60, deadline=None)
+    def test_centerline_points_project_to_zero_offset(self, s):
+        x, y, _ = TRACK.pose(s)
+        s_hat, offset = TRACK.project(x, y, s_hint=s)
+        assert abs(offset) < 0.02
+        # Arc length recovered up to wrap-around.
+        delta = min(abs(s_hat - TRACK.wrap(s)), TRACK.length - abs(s_hat - TRACK.wrap(s)))
+        assert delta < 0.05
+
+    def test_left_offset_is_positive(self):
+        # On the bottom straight heading +x, "left" is +y.
+        s_hat, offset = TRACK.project(30.0, 1.5, s_hint=30.0)
+        assert offset == pytest.approx(1.5, abs=0.02)
+        s_hat, offset = TRACK.project(30.0, -1.5, s_hint=30.0)
+        assert offset == pytest.approx(-1.5, abs=0.02)
+
+    def test_projection_with_coarse_hint(self):
+        x, y, _ = TRACK.pose(45.0)
+        s_hat, offset = TRACK.project(x, y, s_hint=40.0)  # 5 m stale hint
+        assert s_hat == pytest.approx(45.0, abs=0.1)

@@ -1,0 +1,102 @@
+"""Unit tests for scenario factories."""
+
+import pytest
+
+from repro.vehicle import CarFollowingPlant, LaneKeepingPlant
+from repro.workloads import (
+    SCENARIOS,
+    Scenario,
+    fig13_car_following,
+    hardware_car_following,
+    lane_keeping_loop,
+    motivation_red_light,
+    traffic_jam_responsiveness,
+)
+
+
+ALL_FACTORIES = [
+    fig13_car_following,
+    motivation_red_light,
+    hardware_car_following,
+    traffic_jam_responsiveness,
+    lane_keeping_loop,
+]
+
+
+class TestRegistry:
+    def test_registry_complete(self):
+        assert set(SCENARIOS) == {
+            "fig13", "motivation", "hardware", "traffic_jam", "lane_keeping",
+        }
+
+    def test_registry_factories_work(self):
+        for factory in SCENARIOS.values():
+            assert isinstance(factory(), Scenario)
+
+
+class TestFactories:
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_builds_valid_scenario(self, factory):
+        sc = factory()
+        assert sc.kind in ("car_following", "lane_keeping")
+        graph = sc.graph_factory()
+        graph.validate()
+        plant = sc.plant_factory(0)
+        if sc.kind == "car_following":
+            assert isinstance(plant, CarFollowingPlant)
+        else:
+            assert isinstance(plant, LaneKeepingPlant)
+        assert sc.complexity(0.0) >= 0.0
+
+    @pytest.mark.parametrize("factory", ALL_FACTORIES)
+    def test_graphs_are_fresh_per_call(self, factory):
+        sc = factory()
+        assert sc.graph_factory() is not sc.graph_factory()
+
+    def test_horizon_parameter(self):
+        sc = fig13_car_following(horizon=12.5)
+        assert sc.sim.horizon == 12.5
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            Scenario(
+                name="bad", kind="flying", graph_factory=lambda: None,
+                plant_factory=lambda s: None,
+            )
+
+    def test_invalid_dt_rejected(self):
+        with pytest.raises(ValueError, match="plant_dt"):
+            Scenario(
+                name="bad", kind="car_following", graph_factory=lambda: None,
+                plant_factory=lambda s: None, plant_dt=0.0,
+            )
+
+
+class TestScenarioDetails:
+    def test_fig13_complexity_flat(self):
+        sc = fig13_car_following()
+        assert sc.complexity(50.0) == 0.0  # load comes from the step model
+
+    def test_motivation_complexity_ramps(self):
+        sc = motivation_red_light()
+        assert sc.complexity(20.0) > sc.complexity(0.0)
+
+    def test_traffic_jam_spike(self):
+        sc = traffic_jam_responsiveness()
+        assert sc.complexity(15.0) > sc.complexity(5.0)
+        assert sc.complexity(25.0) == sc.complexity(5.0)
+
+    def test_hardware_plant_is_noisy_scaled_car(self):
+        plant = hardware_car_following().plant_factory(0)
+        assert plant.speed_noise is not None
+        assert plant.dynamics.actuator_lag > 0.0
+        assert plant.gap < 5.0  # scaled-car distances
+
+    def test_hardware_noise_varies_with_seed(self):
+        p1 = hardware_car_following().plant_factory(1)
+        p2 = hardware_car_following().plant_factory(2)
+        p1.step(0.1)
+        p2.step(0.1)
+        c1 = p1.compute_command(0.1, 0.1)
+        c2 = p2.compute_command(0.1, 0.1)
+        assert c1.accel != c2.accel
