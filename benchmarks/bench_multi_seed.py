@@ -4,20 +4,48 @@ The paper reports one run per table; this bench repeats the Fig. 13
 comparison over independent seeds and asserts the statistical form of the
 claim: HCPerf has the lowest mean speed-error RMS and wins the large
 majority of seeds.
+
+The grid runs on the fleet backend.  Pass ``--jobs N`` to shard it across
+N worker processes; with N > 1 the bench also times the serial run and
+prints the wall-clock speedup (the parallel and serial results are
+asserted identical first — parallelism must not change a single number).
 """
 
+import time
+
 from repro.experiments.multi_seed import render, run_multi_seed
-from repro.workloads import fig13_car_following
+
+SEEDS = range(3)
+SCHEMES = ("HPF", "EDF", "EDF-VD", "Apollo", "HCPerf")
 
 
-def test_bench_table_ii_across_seeds(once):
-    result = once(
-        run_multi_seed,
-        lambda: fig13_car_following(horizon=40.0),
-        metric=lambda r: r.speed_error_rms(),
+def _run(jobs):
+    return run_multi_seed(
+        "fig13",
+        metric="speed_error_rms",
         metric_name="speed-error RMS (m/s)",
-        seeds=range(3),
+        seeds=SEEDS,
+        schemes=SCHEMES,
+        overrides={"horizon": 40.0},
+        jobs=jobs,
     )
+
+
+def test_bench_table_ii_across_seeds(once, fleet_jobs):
+    result = once(_run, fleet_jobs)
     print("\n" + render(result))
+    if fleet_jobs > 1:
+        t0 = time.perf_counter()
+        serial = _run(1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = _run(fleet_jobs)
+        t_parallel = time.perf_counter() - t0
+        assert render(serial) == render(parallel)
+        print(
+            f"fleet speedup: serial {t_serial:.2f}s -> "
+            f"--jobs {fleet_jobs} {t_parallel:.2f}s "
+            f"({t_serial / t_parallel:.2f}x, results identical)"
+        )
     assert result.best_scheme_by_mean() == "HCPerf"
     assert result.win_ratio("HCPerf") >= 2 / 3

@@ -23,3 +23,20 @@ def once(benchmark):
         return run_once(benchmark, fn, *args, **kwargs)
 
     return _run
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for fleet-backed benches (bench_multi_seed); "
+            ">1 also times the serial run and reports the speedup"
+        ),
+    )
+
+
+@pytest.fixture
+def fleet_jobs(request):
+    return request.config.getoption("--jobs")

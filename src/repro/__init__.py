@@ -23,6 +23,9 @@ Package map
     The Fig. 2 / Fig. 11 task-graph profiles and scenario scripts.
 ``repro.experiments``
     One module per paper table/figure; see DESIGN.md §5.
+``repro.fleet``
+    Campaign engine: scenario × scheduler × seed grids sharded over a
+    worker pool, streamed into a resumable JSONL result store.
 
 Quickstart
 ----------
@@ -46,6 +49,7 @@ from .experiments.runner import (
     compare_schedulers,
     run_scenario,
 )
+from .fleet import CampaignSpec, ResultStore, render_store, run_campaign
 from .rt import RTExecutor, SimConfig, TaskGraph, TaskSpec
 from .schedulers import SCHEDULERS, Scheduler, make_scheduler
 from .workloads import (
@@ -73,6 +77,10 @@ __all__ = [
     "RunResult",
     "compare_schedulers",
     "run_scenario",
+    "CampaignSpec",
+    "ResultStore",
+    "render_store",
+    "run_campaign",
     "RTExecutor",
     "SimConfig",
     "TaskGraph",

@@ -1,11 +1,16 @@
 """Command-line front-end.
 
-Two modes:
+Modes:
 
 * ``hcperf <experiment-id> [--seed N]`` — regenerate one of the paper's
   tables/figures (or ``all``; default ``list`` shows what exists);
 * ``hcperf run <scenario> <scheduler> [--seed N] [--horizon S] [--json]`` —
-  run one scenario under one policy and print (or JSON-dump) the summary.
+  run one scenario under one policy and print (or JSON-dump) the summary;
+* ``hcperf validate <scenario>`` — static schedulability check;
+* ``hcperf fleet run|status|report`` — campaign engine: expand a
+  scenarios × schedulers × seeds grid, shard it across ``--jobs N`` worker
+  processes, stream summaries into a resumable JSONL store, and aggregate
+  the store into comparison tables.
 """
 
 from __future__ import annotations
@@ -17,7 +22,7 @@ from typing import List, Optional
 
 from .experiments import EXPERIMENTS
 
-__all__ = ["main", "build_parser", "build_run_parser"]
+__all__ = ["main", "build_parser", "build_run_parser", "build_fleet_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -89,6 +94,11 @@ def _list_experiments() -> str:
         + ",".join(sorted(SCENARIOS))
         + "} {HPF,EDF,EDF-VD,Apollo,HCPerf} [--seed N] [--horizon S] [--json]"
     )
+    lines.append(
+        "Fleet campaigns:  hcperf fleet {run,status,report} "
+        "[--scenarios A,B] [--schedulers X,Y] [--seeds 0,1,..] [--jobs N] "
+        "[--store PATH]"
+    )
     return "\n".join(lines)
 
 
@@ -137,6 +147,146 @@ def _run_scenario_command(argv: List[str]) -> int:
     return 0
 
 
+def build_fleet_parser() -> argparse.ArgumentParser:
+    from .schedulers import SCHEDULERS
+    from .workloads import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="hcperf fleet",
+        description=(
+            "Campaign engine: run scenario × scheduler × seed grids in "
+            "parallel with a resumable JSONL result store."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_spec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--spec", default=None, help="JSON campaign-spec file")
+        p.add_argument(
+            "--scenarios",
+            default="fig13",
+            help=f"comma-separated scenario names ({','.join(sorted(SCENARIOS))})",
+        )
+        p.add_argument(
+            "--schedulers",
+            default="HPF,EDF,EDF-VD,Apollo,HCPerf",
+            help=f"comma-separated scheduler names ({','.join(sorted(SCHEDULERS))})",
+        )
+        p.add_argument(
+            "--seeds", default="0,1,2,3",
+            help="comma-separated seed list (default 0,1,2,3)",
+        )
+        p.add_argument(
+            "--horizon", type=float, default=None,
+            help="horizon override applied to every job (s)",
+        )
+        p.add_argument(
+            "--name", default="campaign",
+            help="campaign name (names the default store file)",
+        )
+        p.add_argument(
+            "--store", default=None,
+            help="result-store path (default results/fleet/<name>.jsonl)",
+        )
+
+    run = sub.add_parser("run", help="run (or resume) a campaign")
+    add_spec_args(run)
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1 = serial)",
+    )
+    run.add_argument(
+        "--max-jobs", type=int, default=None,
+        help="stop after this many executed jobs (incremental run)",
+    )
+    run.add_argument(
+        "--report", action="store_true",
+        help="print the aggregated report after the run",
+    )
+
+    status = sub.add_parser("status", help="done/pending breakdown of a campaign")
+    add_spec_args(status)
+
+    report = sub.add_parser("report", help="aggregate a store into tables")
+    report.add_argument("--store", required=True, help="result-store path")
+    report.add_argument(
+        "--metric", default=None,
+        help="summary key to rank on (default: auto per scenario kind)",
+    )
+    report.add_argument(
+        "--no-chart", action="store_true", help="tables only, no per-seed chart"
+    )
+    return parser
+
+
+def _fleet_spec_from_args(args) -> "object":
+    from .fleet import CampaignSpec, load_spec
+
+    if args.spec:
+        return load_spec(args.spec)
+    variants = [{"horizon": args.horizon}] if args.horizon is not None else [{}]
+    return CampaignSpec(
+        name=args.name,
+        scenarios=[s for s in args.scenarios.split(",") if s],
+        schedulers=[s for s in args.schedulers.split(",") if s],
+        seeds=[int(s) for s in args.seeds.split(",") if s],
+        variants=variants,
+    )
+
+
+def _fleet_command(argv: List[str]) -> int:
+    from .fleet import campaign_status, default_store_path, render_store, run_campaign
+
+    args = build_fleet_parser().parse_args(argv)
+    if args.command == "report":
+        from pathlib import Path
+
+        if not Path(args.store).exists():
+            print(f"error: store {args.store} does not exist", file=sys.stderr)
+            return 2
+        try:
+            report = render_store(
+                args.store, metric=args.metric, chart=not args.no_chart
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(report)
+        return 0
+
+    try:
+        spec = _fleet_spec_from_args(args).validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = args.store or default_store_path(spec)
+    if args.command == "status":
+        status = campaign_status(spec, store)
+        print(f"store   : {store}")
+        print(f"done    : {status['done']}/{status['total']}")
+        for line in status["pending"]:
+            print(f"pending : {line}")
+        if status["stray"]:
+            print(f"stray   : {len(status['stray'])} record(s) outside the spec")
+        return 0 if status["done"] == status["total"] else 1
+
+    report = run_campaign(
+        spec,
+        store=store,
+        jobs=args.jobs,
+        max_jobs=args.max_jobs,
+        progress=lambda msg: print(msg, file=sys.stderr),
+    )
+    print(
+        f"campaign {spec.name}: {report.executed} run, {report.skipped} resumed, "
+        f"{report.remaining} remaining -> {store}"
+    )
+    if args.report:
+        print()
+        print(render_store(store, metric=spec.metric))
+    return 0 if report.complete else 1
+
+
 def _validate_command(argv: List[str]) -> int:
     from .workloads import SCENARIOS, render_report, validate_platform
 
@@ -165,6 +315,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenario_command(argv[1:])
     if argv and argv[0] == "validate":
         return _validate_command(argv[1:])
+    if argv and argv[0] == "fleet":
+        return _fleet_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(_list_experiments())

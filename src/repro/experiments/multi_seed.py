@@ -3,16 +3,23 @@
 The paper reports single runs; this module re-runs any scenario over many
 seeds and summarizes each scheme's metric as mean ± std, plus how often
 HCPerf wins — the statistical form of the reproduction claims.
+
+Since the fleet engine landed this harness is a front-end over it: name a
+registry scenario and a summary metric and the (scheme × seed) grid runs
+as a campaign — sharded across ``jobs`` worker processes, optionally
+persisted to a resumable store.  The original in-process form (a scenario
+*factory* plus a ``RunResult`` *callable*) still works and stays serial,
+because closures cannot cross a process boundary.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..analysis.report import format_table
-from ..analysis.stats import mean
+from ..analysis.stats import mean, sample_std
 from ..workloads.scenarios import Scenario
 from .runner import DEFAULT_SCHEMES, RunResult, run_scenario
 
@@ -32,10 +39,7 @@ class MetricSummary:
 
     @property
     def std(self) -> float:
-        if len(self.values) < 2:
-            return 0.0
-        mu = self.mean
-        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1))
+        return sample_std(self.values)
 
     @property
     def min(self) -> float:
@@ -63,30 +67,25 @@ class MultiSeedResult:
         return min(self.summaries, key=lambda s: self.summaries[s].mean)
 
 
-def run_multi_seed(
+def _run_serial(
     scenario_factory: Callable[[], Scenario],
     metric: Callable[[RunResult], float],
-    metric_name: str = "metric",
-    seeds: Sequence[int] = range(5),
-    schemes: Sequence[str] = DEFAULT_SCHEMES,
-) -> MultiSeedResult:
-    """Run every (scheme, seed) pair and summarize ``metric``.
-
-    ``metric`` maps a :class:`RunResult` to a lower-is-better scalar
-    (e.g. ``lambda r: r.speed_error_rms()``).
-    """
-    seeds = list(seeds)
-    if not seeds:
-        raise ValueError("need at least one seed")
+    seeds: Sequence[int],
+    schemes: Sequence[str],
+) -> Dict[str, List[float]]:
     values: Dict[str, List[float]] = {s: [] for s in schemes}
-    wins: Dict[str, int] = {s: 0 for s in schemes}
     for seed in seeds:
-        per_seed: Dict[str, float] = {}
         for scheme in schemes:
-            result = run_scenario(scenario_factory(), scheme, seed=seed)
-            value = metric(result)
-            values[scheme].append(value)
-            per_seed[scheme] = value
+            values[scheme].append(metric(run_scenario(scenario_factory(), scheme, seed=seed)))
+    return values
+
+
+def _tally(
+    metric_name: str, seeds: List[int], values: Dict[str, List[float]]
+) -> MultiSeedResult:
+    wins: Dict[str, int] = {s: 0 for s in values}
+    for idx in range(len(seeds)):
+        per_seed = {s: v[idx] for s, v in values.items()}
         wins[min(per_seed, key=per_seed.get)] += 1
     return MultiSeedResult(
         metric_name=metric_name,
@@ -94,6 +93,66 @@ def run_multi_seed(
         summaries={s: MetricSummary(scheme=s, values=v) for s, v in values.items()},
         wins=wins,
     )
+
+
+def run_multi_seed(
+    scenario: Union[str, Callable[[], Scenario]],
+    metric: Union[str, Callable[[RunResult], float]],
+    metric_name: str = "metric",
+    seeds: Sequence[int] = range(5),
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    overrides: Optional[Mapping[str, object]] = None,
+    jobs: int = 1,
+    store: Union[str, Path, None] = None,
+) -> MultiSeedResult:
+    """Run every (scheme, seed) pair and summarize ``metric``.
+
+    Fleet form — parallel and resumable:
+        ``scenario`` is a registry name (``"fig13"``), ``metric`` a summary
+        key (``"speed_error_rms"``); ``overrides`` tunes the scenario (see
+        :data:`repro.fleet.OVERRIDE_KEYS`), ``jobs`` shards the grid across
+        worker processes and ``store`` persists/resumes the campaign.
+
+    Legacy form — serial, in-process:
+        ``scenario`` is a zero-arg factory, ``metric`` maps a
+        :class:`RunResult` to a lower-is-better scalar
+        (e.g. ``lambda r: r.speed_error_rms()``).  ``jobs``/``store`` do
+        not apply (closures cannot be shipped to worker processes).
+    """
+    seeds = sorted(int(s) for s in seeds)
+    if not seeds:
+        raise ValueError("need at least one seed")
+    fleet_form = isinstance(scenario, str) and isinstance(metric, str)
+    if not fleet_form:
+        if jobs != 1 or store is not None or overrides:
+            raise ValueError(
+                "jobs/store/overrides need the fleet form: pass the scenario "
+                "registry name and a summary-metric key, not callables"
+            )
+        values = _run_serial(scenario, metric, seeds, schemes)
+        return _tally(metric_name, list(seeds), values)
+
+    from ..fleet import CampaignSpec, ResultStore, load_groups, run_campaign
+
+    spec = CampaignSpec(
+        name=f"multi_seed_{scenario}",
+        scenarios=[scenario],
+        schedulers=list(schemes),
+        seeds=seeds,
+        variants=[dict(overrides or {})],
+        metric=metric,
+    )
+    result_store = ResultStore(store)
+    run_campaign(spec, store=result_store, jobs=jobs)
+    wanted = dict(overrides or {})
+    (group,) = [
+        g
+        for g in load_groups(result_store, metric=metric, schemes=schemes)
+        if g.scenario == scenario and g.overrides == wanted
+    ]
+    values = {s: list(group.cells[s].values) for s in schemes if s in group.cells}
+    name = metric if metric_name == "metric" else metric_name
+    return _tally(name, list(group.seeds), values)
 
 
 def render(result: MultiSeedResult) -> str:

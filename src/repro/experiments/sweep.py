@@ -5,18 +5,20 @@ sweeps the elevated fusion cost and records each scheme's tracking RMS —
 exposing the crossover structure: at light elevation every scheme copes and
 the advantage is small; as the elevation deepens, the baselines' misses
 compound while HCPerf's rate adaptation holds, so the gap widens.
+
+The sweep runs on the fleet backend: each elevation level is one config
+variant of the ``fig13`` scenario, so the whole (elevation × scheme) grid
+shards across ``jobs`` worker processes and can persist/resume through a
+campaign ``store`` like any other campaign.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
 
 from ..analysis.report import format_table
-from ..rt.exectime import StepExecTime
-from ..workloads.profiles import default_fusion_model, full_task_graph
-from ..workloads.scenarios import fig13_car_following
-from .runner import RunResult, run_scenario
 
 __all__ = ["SweepPoint", "FusionSweepResult", "run_fusion_sweep", "render"]
 
@@ -57,38 +59,64 @@ class FusionSweepResult:
         return adv[-1] > adv[0]
 
 
-def _scenario_with_elevation(elevated_s: float, horizon: float):
-    scenario = fig13_car_following(horizon=horizon)
-    scenario.graph_factory = lambda: full_task_graph(
-        fusion_model=StepExecTime(
-            normal=default_fusion_model(0.020),
-            elevated=default_fusion_model(elevated_s),
-            t_on=10.0,
-            t_off=horizon,
-        )
-    )
-    return scenario
-
-
 def run_fusion_sweep(
     elevations_ms: Sequence[float] = (20.0, 30.0, 40.0, 50.0),
     schemes: Sequence[str] = ("HPF", "EDF", "EDF-VD", "HCPerf"),
     horizon: float = 40.0,
     seed: int = 1,
+    jobs: int = 1,
+    store: Union[str, Path, None] = None,
 ) -> FusionSweepResult:
-    """Run the car-following comparison at each elevated fusion cost."""
+    """Run the car-following comparison at each elevated fusion cost.
+
+    ``jobs`` shards the (elevation × scheme) grid across worker processes;
+    ``store`` persists the campaign for resume and later ``fleet report``.
+    """
+    from ..fleet import CampaignSpec, ResultStore, run_campaign
+
     if not elevations_ms:
         raise ValueError("need at least one elevation level")
+    variants = [
+        {
+            "horizon": horizon,
+            "fusion_normal_ms": 20.0,
+            "fusion_elevated_ms": float(ms),
+            "fusion_t_on": 10.0,
+            "fusion_t_off": horizon,
+        }
+        for ms in elevations_ms
+    ]
+    spec = CampaignSpec(
+        name="fusion_sweep",
+        scenarios=["fig13"],
+        schedulers=list(schemes),
+        seeds=[seed],
+        variants=variants,
+        metric="speed_error_rms",
+    )
+    result_store = ResultStore(store)
+    run_campaign(spec, store=result_store, jobs=jobs)
+
+    by_cell: Dict[float, Dict[str, dict]] = {}
+    for record in result_store.records():
+        job = record["job"]
+        overrides = job.get("overrides", {})
+        if "fusion_elevated_ms" not in overrides:
+            continue  # foreign record in a shared store
+        key = float(overrides["fusion_elevated_ms"])
+        by_cell.setdefault(key, {})[str(job["scheduler"])] = record
     points: List[SweepPoint] = []
     for ms in elevations_ms:
-        rms: Dict[str, float] = {}
-        miss: Dict[str, float] = {}
-        for scheme in schemes:
-            scenario = _scenario_with_elevation(ms / 1000.0, horizon)
-            result = run_scenario(scenario, scheme, seed=seed)
-            rms[scheme] = result.speed_error_rms()
-            miss[scheme] = result.overall_miss_ratio()
-        points.append(SweepPoint(elevated_ms=ms, speed_rms=rms, miss_ratio=miss))
+        cell = by_cell.get(float(ms), {})
+        rms = {
+            s: float(cell[s]["summary"]["speed_error_rms"]) for s in schemes if s in cell
+        }
+        miss = {
+            s: float(cell[s]["summary"]["overall_miss_ratio"])
+            for s in schemes
+            if s in cell
+        }
+        points.append(SweepPoint(elevated_ms=float(ms), speed_rms=rms, miss_ratio=miss))
     return FusionSweepResult(points=points)
 
 

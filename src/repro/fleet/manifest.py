@@ -1,0 +1,98 @@
+"""Campaign spec → work manifest.
+
+A :class:`Job` is one (scenario, variant, scheduler, seed) cell.  Its
+identity is a stable content hash over those fields, so the same spec
+expands to the same job ids in any process on any machine — the key the
+result store uses to skip already-finished work on resume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from .spec import CampaignSpec
+
+__all__ = ["Job", "job_id", "build_manifest"]
+
+
+def job_id(
+    scenario: str, scheduler: str, seed: int, overrides: Mapping[str, object]
+) -> str:
+    """Stable 16-hex-digit content hash of one job's defining fields."""
+    payload = json.dumps(
+        {
+            "scenario": scenario,
+            "scheduler": scheduler,
+            "seed": seed,
+            "overrides": {k: overrides[k] for k in sorted(overrides)},
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class Job:
+    """One simulation run the campaign owes."""
+
+    scenario: str
+    scheduler: str
+    seed: int
+    overrides: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def id(self) -> str:
+        return job_id(self.scenario, self.scheduler, self.seed, self.overrides)
+
+    def describe(self) -> str:
+        ov = ""
+        if self.overrides:
+            ov = " " + ",".join(f"{k}={v}" for k, v in sorted(self.overrides.items()))
+        return f"{self.scenario}/{self.scheduler} seed={self.seed}{ov}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "overrides": dict(self.overrides),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Job":
+        return cls(
+            scenario=str(data["scenario"]),
+            scheduler=str(data["scheduler"]),
+            seed=int(data["seed"]),
+            overrides=dict(data.get("overrides", {})),
+        )
+
+
+def build_manifest(spec: CampaignSpec) -> List[Job]:
+    """Expand a spec into its job list in deterministic grid order.
+
+    Order is scenario-major, then variant, scheduler, seed — the order the
+    serial backend executes and the order every report iterates, so two
+    expansions of the same spec are identical element-for-element.
+    """
+    jobs: List[Job] = []
+    for scenario in spec.scenarios:
+        for variant in spec.variants:
+            for scheduler in spec.schedulers:
+                for seed in spec.seeds:
+                    jobs.append(
+                        Job(
+                            scenario=scenario,
+                            scheduler=scheduler,
+                            seed=seed,
+                            overrides=dict(variant),
+                        )
+                    )
+    ids = [j.id for j in jobs]
+    if len(set(ids)) != len(ids):
+        raise ValueError("spec expands to duplicate jobs (repeated grid cell)")
+    return jobs

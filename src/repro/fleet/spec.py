@@ -1,0 +1,144 @@
+"""Declarative campaign specifications.
+
+A :class:`CampaignSpec` names the grid a campaign covers — scenarios ×
+schedulers × seeds × config-override variants — without running anything.
+Specs are plain data: they round-trip through JSON (``hcperf fleet run
+--spec campaign.json``) and expand deterministically into a job manifest
+(:mod:`repro.fleet.manifest`), so the same spec always produces the same
+job set and the same job hashes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["OVERRIDE_KEYS", "CampaignSpec", "load_spec"]
+
+#: Config-override keys a job may carry, and what they retune.
+OVERRIDE_KEYS = {
+    "horizon": "simulated horizon (s)",
+    "n_processors": "processor count",
+    "coordination_period": "coordination period (s)",
+    "fusion_normal_ms": "fusion cost outside the elevated window (ms)",
+    "fusion_elevated_ms": "fusion cost inside the elevated window (ms)",
+    "fusion_t_on": "elevated-window start (s)",
+    "fusion_t_off": "elevated-window end (s)",
+}
+
+
+def _check_overrides(overrides: Mapping[str, object], where: str) -> Dict[str, object]:
+    unknown = sorted(set(overrides) - set(OVERRIDE_KEYS))
+    if unknown:
+        raise ValueError(
+            f"{where}: unknown override keys {unknown}; "
+            f"supported: {sorted(OVERRIDE_KEYS)}"
+        )
+    return dict(overrides)
+
+
+@dataclass
+class CampaignSpec:
+    """One campaign grid: every scenario × variant × scheduler × seed cell.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier; names the default store file.
+    scenarios:
+        Scenario registry keys (``repro.workloads.SCENARIOS``).
+    schedulers:
+        Scheduler registry keys (``repro.schedulers.SCHEDULERS``).
+    seeds:
+        Run seeds; every cell is repeated per seed.
+    variants:
+        Config-override axis — one mapping per variant (see
+        :data:`OVERRIDE_KEYS`).  ``[{}]`` (the default) means a single
+        unmodified variant.
+    metric:
+        Default summary key the aggregation/report layer ranks schemes by
+        (``None`` → auto-pick from the stored summaries).
+    """
+
+    name: str = "campaign"
+    scenarios: Sequence[str] = ("fig13",)
+    schedulers: Sequence[str] = ("HPF", "EDF", "EDF-VD", "Apollo", "HCPerf")
+    seeds: Sequence[int] = (0,)
+    variants: Sequence[Mapping[str, object]] = field(default_factory=lambda: [{}])
+    metric: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.scenarios = [str(s) for s in self.scenarios]
+        self.schedulers = [str(s) for s in self.schedulers]
+        self.seeds = [int(s) for s in self.seeds]
+        self.variants = [
+            _check_overrides(v, f"variant #{i}") for i, v in enumerate(self.variants)
+        ]
+        if not self.scenarios:
+            raise ValueError("spec needs at least one scenario")
+        if not self.schedulers:
+            raise ValueError("spec needs at least one scheduler")
+        if not self.seeds:
+            raise ValueError("spec needs at least one seed")
+        if not self.variants:
+            raise ValueError("spec needs at least one variant ([{}] for none)")
+
+    # ------------------------------------------------------------------
+    # Registry validation (deferred import: specs are data-only otherwise)
+    # ------------------------------------------------------------------
+    def validate(self) -> "CampaignSpec":
+        """Check every scenario/scheduler name against the registries."""
+        from ..schedulers import SCHEDULERS
+        from ..workloads import SCENARIOS
+
+        bad = sorted(set(self.scenarios) - set(SCENARIOS))
+        if bad:
+            raise ValueError(
+                f"unknown scenarios {bad}; available: {sorted(SCENARIOS)}"
+            )
+        bad = sorted(set(self.schedulers) - set(SCHEDULERS))
+        if bad:
+            raise ValueError(
+                f"unknown schedulers {bad}; available: {sorted(SCHEDULERS)}"
+            )
+        return self
+
+    @property
+    def n_jobs(self) -> int:
+        return (
+            len(self.scenarios)
+            * len(self.variants)
+            * len(self.schedulers)
+            * len(self.seeds)
+        )
+
+    # ------------------------------------------------------------------
+    # (De)serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "scenarios": list(self.scenarios),
+            "schedulers": list(self.schedulers),
+            "seeds": list(self.seeds),
+            "variants": [dict(v) for v in self.variants],
+            "metric": self.metric,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CampaignSpec":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown spec fields {unknown}; supported: {sorted(known)}")
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+
+def load_spec(path: Union[str, Path]) -> CampaignSpec:
+    """Load a JSON campaign spec from ``path``."""
+    return CampaignSpec.from_dict(json.loads(Path(path).read_text()))

@@ -55,3 +55,48 @@ class TestRunMultiSeed:
                 metric=lambda r: 0.0,
                 seeds=[],
             )
+
+
+class TestFleetBackend:
+    def test_fleet_form_matches_legacy_serial(self):
+        """The rewired harness: name+key form == factory+callable form."""
+        legacy = run_multi_seed(
+            lambda: fig13_car_following(horizon=5.0),
+            metric=lambda r: r.speed_error_rms(),
+            metric_name="speed_error_rms",
+            seeds=range(2),
+            schemes=("EDF", "HCPerf"),
+        )
+        fleet = run_multi_seed(
+            "fig13",
+            metric="speed_error_rms",
+            seeds=range(2),
+            schemes=("EDF", "HCPerf"),
+            overrides={"horizon": 5.0},
+            jobs=2,
+        )
+        assert render(fleet) == render(legacy)
+
+    def test_fleet_form_persists_and_resumes(self, tmp_path):
+        store = tmp_path / "ms.jsonl"
+        kwargs = dict(
+            metric="speed_error_rms",
+            seeds=range(2),
+            schemes=("EDF",),
+            overrides={"horizon": 5.0},
+            store=store,
+        )
+        first = run_multi_seed("fig13", **kwargs)
+        mtime = store.stat().st_mtime_ns
+        second = run_multi_seed("fig13", **kwargs)  # all jobs resumed
+        assert render(first) == render(second)
+        assert store.stat().st_mtime_ns == mtime  # nothing recomputed
+
+    def test_jobs_require_fleet_form(self):
+        with pytest.raises(ValueError, match="fleet form"):
+            run_multi_seed(
+                lambda: fig13_car_following(horizon=5.0),
+                metric=lambda r: 0.0,
+                seeds=range(2),
+                jobs=2,
+            )

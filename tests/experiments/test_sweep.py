@@ -44,3 +44,26 @@ class TestSweep:
     def test_empty_elevations_rejected(self):
         with pytest.raises(ValueError):
             sweep.run_fusion_sweep(elevations_ms=())
+
+
+class TestSweepFleetBackend:
+    def test_parallel_matches_serial(self):
+        kwargs = dict(
+            elevations_ms=(20.0, 45.0), schemes=("EDF", "HCPerf"),
+            horizon=15.0, seed=1,
+        )
+        serial = sweep.run_fusion_sweep(**kwargs)
+        parallel = sweep.run_fusion_sweep(jobs=4, **kwargs)
+        assert sweep.render(serial) == sweep.render(parallel)
+
+    def test_store_enables_resume(self, tmp_path):
+        store = tmp_path / "sweep.jsonl"
+        kwargs = dict(
+            elevations_ms=(20.0,), schemes=("EDF", "HCPerf"), horizon=12.0, seed=1,
+            store=store,
+        )
+        first = sweep.run_fusion_sweep(**kwargs)
+        mtime = store.stat().st_mtime_ns
+        second = sweep.run_fusion_sweep(**kwargs)
+        assert sweep.render(first) == sweep.render(second)
+        assert store.stat().st_mtime_ns == mtime

@@ -1,0 +1,98 @@
+"""Campaign engine: sharded execution, determinism, resume."""
+
+import pytest
+
+from repro.fleet import (
+    CampaignSpec,
+    ResultStore,
+    build_manifest,
+    campaign_status,
+    render_store,
+    run_campaign,
+)
+
+
+def small_spec(**kw):
+    defaults = dict(
+        name="t",
+        scenarios=["fig13"],
+        schedulers=["EDF", "HCPerf"],
+        seeds=[0, 1],
+        variants=[{"horizon": 5.0}],
+    )
+    defaults.update(kw)
+    return CampaignSpec(**defaults)
+
+
+class TestRunCampaign:
+    def test_serial_run_completes(self, tmp_path):
+        store = tmp_path / "c.jsonl"
+        report = run_campaign(small_spec(), store=store, jobs=1)
+        assert report.complete and report.executed == 4 and report.skipped == 0
+        assert len(ResultStore(store)) == 4
+
+    def test_parallel_matches_serial_byte_identical(self):
+        """The acceptance property: --jobs N never changes a number."""
+        serial = ResultStore(None)
+        parallel = ResultStore(None)
+        run_campaign(small_spec(), store=serial, jobs=1)
+        run_campaign(small_spec(), store=parallel, jobs=4)
+        assert render_store(serial) == render_store(parallel)
+
+    def test_resume_skips_stored_jobs(self, tmp_path):
+        store = tmp_path / "c.jsonl"
+        spec = small_spec()
+        first = run_campaign(spec, store=store, jobs=1, max_jobs=3)
+        assert first.executed == 3 and first.interrupted and not first.complete
+        # simulate the kill tearing the final line mid-write
+        with open(store, "a") as fh:
+            fh.write('{"job_id": "x", "job"')
+        second = run_campaign(spec, store=store, jobs=2)
+        assert second.skipped == 3 and second.executed == 1 and second.complete
+        # only the missing job ran — nothing was recomputed
+        assert not set(first.executed_ids) & set(second.executed_ids)
+        assert set(first.executed_ids) | set(second.executed_ids) == {
+            j.id for j in build_manifest(spec)
+        }
+        third = run_campaign(spec, store=store, jobs=1)
+        assert third.executed == 0 and third.skipped == 4
+
+    def test_resumed_store_matches_uninterrupted(self, tmp_path):
+        spec = small_spec()
+        oneshot = tmp_path / "a.jsonl"
+        resumed = tmp_path / "b.jsonl"
+        run_campaign(spec, store=oneshot, jobs=1)
+        run_campaign(spec, store=resumed, jobs=1, max_jobs=2)
+        run_campaign(spec, store=resumed, jobs=2)
+        assert render_store(oneshot) == render_store(resumed)
+
+    def test_progress_messages(self):
+        lines = []
+        run_campaign(small_spec(seeds=[0]), store=None, jobs=1, progress=lines.append)
+        assert any("running 2 jobs" in ln for ln in lines)
+        assert any("[2/2]" in ln for ln in lines)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(small_spec(), jobs=0)
+        with pytest.raises(ValueError):
+            run_campaign(small_spec(), max_jobs=-1)
+        with pytest.raises(ValueError, match="unknown scenarios"):
+            run_campaign(small_spec(scenarios=["bogus"]))
+
+
+class TestCampaignStatus:
+    def test_status_counts(self, tmp_path):
+        store = tmp_path / "c.jsonl"
+        spec = small_spec()
+        run_campaign(spec, store=store, jobs=1, max_jobs=1)
+        status = campaign_status(spec, store)
+        assert status["total"] == 4 and status["done"] == 1
+        assert len(status["pending"]) == 3
+        assert status["stray"] == []
+
+    def test_stray_records_reported(self, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        store.append({"job_id": "alien", "job": {}, "summary": {}})
+        status = campaign_status(small_spec(), store)
+        assert status["stray"] == ["alien"]

@@ -1,0 +1,65 @@
+"""Append-only JSONL result store."""
+
+import json
+
+from repro.fleet import ResultStore
+
+
+def _rec(i):
+    return {"job_id": f"job{i}", "job": {"seed": i}, "summary": {"metric": float(i)}}
+
+
+class TestResultStore:
+    def test_append_and_load(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        for i in range(3):
+            store.append(_rec(i))
+        assert len(store) == 3
+        assert "job1" in store
+        assert "nope" not in store
+        ids = store.job_ids()
+        assert ids["job2"]["summary"]["metric"] == 2.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "absent.jsonl")
+        assert store.records() == []
+        assert len(store) == 0
+
+    def test_in_memory_store(self):
+        store = ResultStore(None)
+        store.append(_rec(0))
+        assert len(store) == 1 and "job0" in store
+
+    def test_torn_tail_skipped_and_not_glued(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(_rec(0))
+        with open(path, "a") as fh:
+            fh.write('{"job_id": "torn", "summ')  # kill mid-write, no newline
+        assert [r["job_id"] for r in store.records()] == ["job0"]
+        # the next append must start a fresh line, not extend the torn one
+        store.append(_rec(1))
+        assert sorted(r["job_id"] for r in store.records()) == ["job0", "job1"]
+
+    def test_garbage_lines_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('not json\n{"no_id": 1}\n\n' + json.dumps(_rec(5)) + "\n")
+        assert [r["job_id"] for r in ResultStore(path).records()] == ["job5"]
+
+    def test_duplicate_job_id_last_wins(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        store.append(_rec(0))
+        newer = _rec(0)
+        newer["summary"]["metric"] = 99.0
+        store.append(newer)
+        (record,) = store.records()
+        assert record["summary"]["metric"] == 99.0
+
+    def test_record_without_job_id_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s.jsonl")
+        try:
+            store.append({"summary": {}})
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")

@@ -1,0 +1,55 @@
+"""Job execution and config-override application."""
+
+import pytest
+
+from repro.fleet import Job, build_scenario, execute_job
+
+
+class TestBuildScenario:
+    def test_plain_scenario(self):
+        scenario = build_scenario("fig13", {})
+        assert scenario.name == "fig13_car_following"
+        assert scenario.sim.horizon == 90.0
+
+    def test_horizon_override(self):
+        assert build_scenario("fig13", {"horizon": 12.0}).sim.horizon == 12.0
+
+    def test_platform_overrides(self):
+        scenario = build_scenario(
+            "fig13", {"n_processors": 4, "coordination_period": 0.25}
+        )
+        assert scenario.sim.n_processors == 4
+        assert scenario.sim.coordination_period == 0.25
+
+    def test_fusion_override_swaps_graph(self):
+        from repro.workloads.profiles import FUSION_TASK
+
+        scenario = build_scenario(
+            "fig13",
+            {"horizon": 20.0, "fusion_elevated_ms": 60.0, "fusion_t_on": 2.0},
+        )
+        graph = scenario.graph_factory()
+        model = graph.task(FUSION_TASK).exec_model
+        # step model elevated window: [t_on, t_off) with t_off = horizon
+        assert model.t_on == 2.0 and model.t_off == 20.0
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            build_scenario("warp", {})
+
+
+class TestExecuteJob:
+    def test_record_shape(self):
+        job = Job(scenario="fig13", scheduler="EDF", seed=3,
+                  overrides={"horizon": 5.0})
+        record = execute_job(job)
+        assert record["job_id"] == job.id
+        assert record["job"] == job.to_dict()
+        summary = record["summary"]
+        assert summary["scheduler"] == "EDF" and summary["seed"] == 3
+        assert "speed_error_rms" in summary
+
+    def test_same_job_same_summary(self):
+        job = Job(scenario="fig13", scheduler="HCPerf", seed=1,
+                  overrides={"horizon": 5.0})
+        assert execute_job(job)["summary"] == execute_job(job)["summary"]
