@@ -10,7 +10,10 @@ Modes:
 * ``hcperf fleet run|status|report`` — campaign engine: expand a
   scenarios × schedulers × seeds grid, shard it across ``--jobs N`` worker
   processes, stream summaries into a resumable JSONL store, and aggregate
-  the store into comparison tables.
+  the store into comparison tables;
+* ``hcperf lint [--rule ID] [--format text|json]`` — hclint, the
+  AST-based invariant checker (determinism, scheduler contracts,
+  hygiene; see docs/static_analysis.md).
 """
 
 from __future__ import annotations
@@ -98,6 +101,10 @@ def _list_experiments() -> str:
         "Fleet campaigns:  hcperf fleet {run,status,report} "
         "[--scenarios A,B] [--schedulers X,Y] [--seeds 0,1,..] [--jobs N] "
         "[--store PATH]"
+    )
+    lines.append(
+        "Static analysis:  hcperf lint [PATH ...] [--rule ID] "
+        "[--format text|json] [--list-rules]"
     )
     return "\n".join(lines)
 
@@ -317,6 +324,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _validate_command(argv[1:])
     if argv and argv[0] == "fleet":
         return _fleet_command(argv[1:])
+    if argv and argv[0] == "lint":
+        from .devtools.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(_list_experiments())

@@ -1,0 +1,50 @@
+"""hclint — AST-based invariant checker for the HCPerf reproduction.
+
+The paper-level claims rest on invariants no test suite can check
+exhaustively (see docs/static_analysis.md): simulation code never reads
+the wall clock or global RNG, schedulers honor the ``Scheduler``
+contract, fleet code never swallows failures, and time arithmetic never
+relies on exact float equality.  hclint enforces them statically on
+every file, every PR.
+
+Use it three ways:
+
+* CLI: ``hcperf lint [--rule HC001] [--format text|json]`` (or
+  ``python -m repro.devtools.lint``);
+* pytest gate: ``from repro.devtools.lint import run_lint;
+  assert run_lint() == []`` — part of the tier-1 suite;
+* library: :func:`run_lint` / :func:`lint_file` return sorted
+  :class:`Diagnostic` lists for further processing.
+
+Inline suppression: ``# hclint: disable=HC001`` on the flagged line,
+``# hclint: disable-file=HC001`` for a whole file.
+"""
+
+from .diagnostics import Diagnostic, Severity
+from .engine import (
+    PARSE_ERROR_RULE,
+    FileContext,
+    Rule,
+    default_root,
+    get_rules,
+    iter_python_files,
+    lint_file,
+    register,
+    rule_ids,
+    run_lint,
+)
+
+__all__ = [
+    "Diagnostic",
+    "Severity",
+    "Rule",
+    "FileContext",
+    "register",
+    "get_rules",
+    "rule_ids",
+    "default_root",
+    "iter_python_files",
+    "lint_file",
+    "run_lint",
+    "PARSE_ERROR_RULE",
+]

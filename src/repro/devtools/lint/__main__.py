@@ -1,0 +1,8 @@
+"""``python -m repro.devtools.lint`` — same entry point as ``hcperf lint``."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""Small AST helpers shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+__all__ = ["dotted_chain", "terminal_name", "name_tokens", "is_float_constant"]
+
+
+def dotted_chain(node: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Resolve ``a.b.c`` into ``("a", "b", "c")``; None for non-name chains.
+
+    Chains rooted in calls/subscripts (``f().x``, ``d[k].y``) resolve to
+    ``None`` — rules that match on chains only care about module-style
+    dotted access, where the root is a plain name.
+    """
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The final identifier of a name or attribute chain, else ``None``."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def name_tokens(identifier: str) -> Tuple[str, ...]:
+    """Lower-cased underscore-split tokens of an identifier."""
+    return tuple(token for token in identifier.lower().split("_") if token)
+
+
+def is_float_constant(node: ast.AST) -> bool:
+    """True for literal floats, including negated ones (``-1.0``)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
