@@ -24,6 +24,7 @@ from .metrics import MetricsRecorder, TaskStats, WindowSample
 from .queue import ReadyQueue
 from .task import Criticality, Job, JobState, TaskKind, TaskSpec
 from .taskgraph import GraphError, TaskGraph
+from .timeutil import TIME_EPS, is_zero_time, times_close
 
 __all__ = [
     "Event",
@@ -53,6 +54,9 @@ __all__ = [
     "TaskSpec",
     "GraphError",
     "TaskGraph",
+    "TIME_EPS",
+    "times_close",
+    "is_zero_time",
     "TraceEntry",
     "TraceRecorder",
     "render_gantt",

@@ -1,0 +1,32 @@
+"""Tolerance-aware comparison helpers for simulated-time quantities.
+
+Simulated timestamps are sums of periods, phase offsets and sampled
+execution times; two independently derived times that are "the same"
+instant can differ in the last ulp depending on summation order.  Exact
+``==`` between such quantities therefore encodes an accident of floating
+point evaluation order — hclint rule HC006 flags it, and these helpers
+are the sanctioned replacement: they make the tolerance explicit and
+keep it uniform across the codebase.
+
+``TIME_EPS`` is 1 ns of simulated time: far below every period, deadline
+and window length in the reproduction (all >= 1 ms), far above the
+accumulated rounding error of any realistic event-count sum.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TIME_EPS", "times_close", "is_zero_time"]
+
+#: Absolute tolerance (seconds of simulated time) under which two time
+#: quantities are considered the same instant.
+TIME_EPS: float = 1e-9
+
+
+def times_close(a: float, b: float, eps: float = TIME_EPS) -> bool:
+    """True when time quantities ``a`` and ``b`` are within ``eps`` seconds."""
+    return abs(a - b) <= eps
+
+
+def is_zero_time(x: float, eps: float = TIME_EPS) -> bool:
+    """True when the time quantity ``x`` is zero to within ``eps`` seconds."""
+    return abs(x) <= eps

@@ -19,6 +19,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..rt.timeutil import times_close
+
 __all__ = [
     "SpeedProfile",
     "ConstantSpeed",
@@ -104,7 +106,7 @@ class PiecewiseLinearSpeed(SpeedProfile):
             return pts[0][1]
         for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
             if t0 <= t <= t1:
-                if t1 == t0:
+                if times_close(t1, t0):
                     return v1
                 frac = (t - t0) / (t1 - t0)
                 return v0 + frac * (v1 - v0)
