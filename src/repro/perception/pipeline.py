@@ -9,9 +9,10 @@ calibrate the simulator's execution-time models.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from ..devtools.timing import Timer, default_timer
 
 from .control import SpeedController
 from .detection import CameraDetector, Detection, LidarDetector
@@ -51,6 +52,7 @@ class PerceptionPipeline:
         predictor: Optional[ConstantVelocityPredictor] = None,
         planner: Optional[LongitudinalPlanner] = None,
         controller: Optional[SpeedController] = None,
+        timer: Optional[Timer] = None,
     ) -> None:
         self.camera = camera or CameraDetector()
         self.lidar = lidar or LidarDetector()
@@ -59,15 +61,16 @@ class PerceptionPipeline:
         self.predictor = predictor or ConstantVelocityPredictor()
         self.planner = planner or LongitudinalPlanner()
         self.controller = controller or SpeedController()
+        self.timer = timer or default_timer()
 
     def process(self, scene: Scene, ego_speed: float) -> FrameResult:
         """Run one full frame over ``scene``; stage timings are recorded."""
         stage_seconds: Dict[str, float] = {}
 
         def timed(name, fn):
-            t0 = time.perf_counter()
+            t0 = self.timer()
             result = fn()
-            stage_seconds[name] = time.perf_counter() - t0
+            stage_seconds[name] = self.timer() - t0
             return result
 
         cam = timed("camera", lambda: self.camera.detect(scene))
