@@ -16,7 +16,6 @@ import dataclasses
 from repro.analysis import format_table
 from repro.core.coordinator import HCPerfConfig
 from repro.core.dynamic_priority import DynamicPriorityConfig
-from repro.core.mfc import MFCConfig
 from repro.core.rate_adapter import RateAdapterConfig
 from repro.experiments.runner import run_scenario
 from repro.schedulers.hcperf import HCPerfScheduler

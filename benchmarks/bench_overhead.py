@@ -4,7 +4,6 @@ This is a genuine micro-bench (multi-round): one full coordination step of
 the hierarchical coordinator over a realistic 24-job ready queue.
 """
 
-import random
 
 from repro.core import HierarchicalCoordinator
 from repro.experiments import overhead

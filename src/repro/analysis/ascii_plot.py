@@ -7,7 +7,7 @@ no plotting dependency required.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 __all__ = ["line_chart"]
 

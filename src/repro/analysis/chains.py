@@ -10,7 +10,7 @@ pipeline lose its freshness under scheduler X?".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..rt.taskgraph import TaskGraph
 from ..rt.trace import TraceRecorder

@@ -9,9 +9,9 @@ that, in this reproduction, links scheduling behaviour to tracking quality
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from .stats import mean, percentile, rms
+from .stats import mean, percentile
 
 __all__ = ["LatencyReport", "command_latencies", "latency_report"]
 

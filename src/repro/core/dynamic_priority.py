@@ -24,7 +24,7 @@ controller is then clamped into ``[0, γ_max]`` (Eq. 12).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..rt.task import Job
 

@@ -20,7 +20,7 @@ slowest predecessor, so rates move together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["RateAdapterConfig", "TaskRateAdapter"]

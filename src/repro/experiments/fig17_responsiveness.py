@@ -15,7 +15,7 @@ Fig. 17 tracks three HCPerf-internal quantities through the three phases
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from ..analysis.discomfort import discomfort
 from ..analysis.report import format_table

@@ -10,7 +10,7 @@ fluctuation and ~0.5 m worse distance error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from ..analysis.report import format_table, sparkline
 from ..analysis.stats import mean

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from ..analysis.report import format_table
 from ..core.coordinator import HierarchicalCoordinator

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from ..analysis.discomfort import DiscomfortReport, discomfort
 from ..analysis.stats import rms, rms_series
-from ..rt.executor import RTExecutor, SimConfig
+from ..rt.executor import RTExecutor
 from ..rt.metrics import MetricsRecorder
 from ..schedulers import Scheduler, make_scheduler
 from ..schedulers.hcperf import HCPerfScheduler

@@ -17,7 +17,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from ..experiments.multi_seed import MultiSeedResult
 
 from ..analysis.ascii_plot import line_chart
 from ..analysis.report import format_table
@@ -190,7 +193,7 @@ def load_groups(
     return groups
 
 
-def to_multi_seed_result(group: CampaignGroup):
+def to_multi_seed_result(group: CampaignGroup) -> "MultiSeedResult":
     """Bridge one group back into the serial harness's result type."""
     from ..experiments.multi_seed import MetricSummary, MultiSeedResult
 

@@ -15,7 +15,6 @@ so ``jobs=4`` and ``jobs=1`` produce byte-identical reports.
 from __future__ import annotations
 
 import multiprocessing
-import sys
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Union
@@ -58,7 +57,7 @@ class CampaignReport:
         return self.remaining == 0
 
 
-def _pool_context():
+def _pool_context() -> multiprocessing.context.BaseContext:
     # fork shares the already-imported interpreter (fast); fall back to
     # spawn where fork does not exist (Windows) — execute_job is a
     # module-level function over picklable Jobs, so both work.

@@ -9,8 +9,8 @@ and to regression-test the pipeline's quality (not just its interfaces).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from .hungarian import hungarian
 from .scene import Scene

@@ -8,9 +8,8 @@ or resume the cruise speed when the corridor is clear.  The planner's output
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .prediction import PredictedTrajectory
 

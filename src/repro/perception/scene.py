@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List
 
 __all__ = ["Obstacle", "Scene", "SceneGenerator", "ramp_timeline", "spike_timeline"]
 

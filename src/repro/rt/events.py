@@ -10,7 +10,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 __all__ = ["EventKind", "Event", "EventHeap"]

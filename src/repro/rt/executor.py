@@ -23,7 +23,7 @@ Semantics (paper §III-A, resolved per DESIGN.md §2):
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
@@ -34,7 +34,7 @@ from .view import SystemView
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..schedulers.base import Scheduler
 from .exectime import ExecContext, ExecTimeObserver
-from .metrics import MetricsRecorder, WindowSample
+from .metrics import MetricsRecorder
 from .queue import ReadyQueue
 from .task import Job, JobState, TaskKind, TaskSpec
 from .taskgraph import TaskGraph

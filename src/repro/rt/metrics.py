@@ -12,8 +12,8 @@ Collects the quantities the paper's evaluation reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from .task import Job
 

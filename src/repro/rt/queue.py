@@ -9,7 +9,7 @@ priorities are *recomputed* per dispatch (HCPerf's dynamic priority depends on
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Iterator, List, Optional
+from typing import Callable, Iterator, List, Optional
 
 from .task import Job
 

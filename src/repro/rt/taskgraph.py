@@ -9,7 +9,7 @@ tasks.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Set, Tuple
 
 from .task import TaskKind, TaskSpec
 

@@ -10,7 +10,7 @@ schedules by eye.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 __all__ = ["TraceEntry", "TraceRecorder", "render_gantt"]
 

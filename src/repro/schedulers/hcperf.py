@@ -20,6 +20,7 @@ from typing import Dict, Optional
 from ..core.coordinator import HCPerfConfig, HierarchicalCoordinator
 from ..rt.metrics import WindowSample
 from ..rt.task import Job
+from ..rt.taskgraph import TaskGraph
 from .base import Scheduler, SystemView
 
 __all__ = ["HCPerfScheduler"]
@@ -56,7 +57,7 @@ class HCPerfScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Scheduler interface
     # ------------------------------------------------------------------
-    def prepare(self, graph, n_processors: int) -> None:
+    def prepare(self, graph: TaskGraph, n_processors: int) -> None:
         # Register each source task's allowable rate range with the external
         # coordinator; sources without a range are not adaptable.
         for src in graph.sources():

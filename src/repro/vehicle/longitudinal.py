@@ -16,8 +16,7 @@ the lead speed while regulating the gap to ``d₀ + h·v``.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 __all__ = [
     "LongitudinalState",

@@ -10,7 +10,7 @@ readings with :class:`GaussianNoise` and enables the actuator lag of
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["GaussianNoise", "QuantizedSensor"]

@@ -13,13 +13,13 @@ straight into :class:`~repro.rt.executor.RTExecutor` or a
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..rt.exectime import UniformExecTime
 from ..rt.task import Criticality, TaskSpec
 from ..rt.taskgraph import TaskGraph
-from .profiles import effective_rates, estimated_utilization
+from .profiles import estimated_utilization
 
 __all__ = ["GeneratorConfig", "generate_graph"]
 

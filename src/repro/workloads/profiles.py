@@ -17,7 +17,7 @@ scene-coupled cubic model as their scenario requires.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..rt.exectime import (
     ConstantExecTime,

@@ -10,7 +10,7 @@ the factory functions below.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from ..rt.exectime import StepExecTime, UniformExecTime
 from ..rt.executor import SimConfig

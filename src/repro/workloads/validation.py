@@ -10,7 +10,7 @@ deadlines, saturated chains).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from ..analysis.report import format_table
 from ..rt.exectime import ExecContext

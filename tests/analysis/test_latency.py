@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis import LatencyReport, command_latencies, latency_report
+from repro.analysis import command_latencies, latency_report
 from repro.vehicle.longitudinal import ACCCommand
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.rt import ConstantExecTime, RTExecutor, SimConfig, TaskGraph, TaskSpec
+from repro.rt import ConstantExecTime, SimConfig, TaskGraph, TaskSpec
 
 
 def build_chain_graph(

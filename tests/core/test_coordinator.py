@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import HCPerfConfig, HierarchicalCoordinator
-from repro.core.mfc import MFCConfig
 from repro.rt import ConstantExecTime, ExecTimeObserver, Job, TaskSpec
 
 

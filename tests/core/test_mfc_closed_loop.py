@@ -13,7 +13,6 @@ around zero for constant and slowly-varying disturbances.
 
 import math
 
-import pytest
 
 from repro.core import MFCConfig, ModelFreeController
 

@@ -1,0 +1,158 @@
+"""One deliberate violation per shipped rule, plus clean counterparts.
+
+The fixture tree (see conftest) is the executable specification of what
+each rule catches; the clean-counterpart tests pin what each rule must
+*not* catch (the sanctioned idioms the diagnostics point people at).
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import Severity, lint_file, run_lint
+
+from .conftest import VIOLATION_FIXTURES, write_tree
+
+
+def test_every_rule_fires_once_on_its_fixture(violation_tree):
+    for relpath, (_, rule, line) in VIOLATION_FIXTURES.items():
+        diags = lint_file(violation_tree / relpath, root=violation_tree)
+        assert [(d.rule, d.line) for d in diags] == [(rule, line)], relpath
+
+
+def test_full_tree_run_reports_all_rules(violation_tree):
+    diags = run_lint([violation_tree], root=violation_tree)
+    assert sorted(d.rule for d in diags) == sorted(
+        rule for _, rule, _ in VIOLATION_FIXTURES.values()
+    )
+
+
+def test_rules_scope_to_simulation_packages(tmp_path):
+    # The same wall-clock read is legal outside the determinism boundary
+    # (analysis/ post-processes results; devtools/ is explicitly exempt).
+    source = "import time\n\ndef stamp():\n    return time.time()\n"
+    write_tree(
+        tmp_path,
+        {
+            "repro/analysis/ok_clock.py": source,
+            "repro/devtools/ok_clock.py": source,
+            "repro/rt/bad_clock.py": source,
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert [(d.path, d.rule) for d in diags] == [("repro/rt/bad_clock.py", "HC001")]
+
+
+def test_hc001_flags_wall_clock_imports_and_datetime(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/clocks.py": (
+                "from time import perf_counter\n"
+                "from datetime import datetime\n"
+                "\n"
+                "def wall():\n"
+                "    return datetime.now()\n"
+            )
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert [d.rule for d in diags] == ["HC001", "HC001"]
+    assert diags[0].line == 1  # the from-import itself
+    assert diags[1].line == 5  # datetime.now()
+
+
+def test_hc002_seeded_generators_are_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/good_rng.py": (
+                "import random\n"
+                "\n"
+                "def make(seed):\n"
+                "    return random.Random(seed)\n"
+            )
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc002_flags_unseeded_and_module_level_generators(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/unseeded.py": (
+                "import random\n"
+                "\n"
+                "def make():\n"
+                "    return random.Random()\n"
+            ),
+            "repro/rt/module_level.py": (
+                "import random\n"
+                "\n"
+                "RNG = random.Random(42)\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert sorted((d.path, d.rule) for d in diags) == [
+        ("repro/rt/module_level.py", "HC002"),
+        ("repro/rt/unseeded.py", "HC002"),
+    ]
+
+
+def test_hc003_missing_rank_and_executor_import(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/schedulers/norank.py": (
+                "from .base import Scheduler\n"
+                "from ..rt.executor import RTExecutor\n"
+                "\n"
+                "class NoRank(Scheduler):\n"
+                "    pass\n"
+            )
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert [d.rule for d in diags] == ["HC003", "HC003"]
+    messages = " / ".join(d.message for d in diags)
+    assert "imports the executor" in messages
+    assert "does not override rank" in messages
+
+
+def test_hc003_wrong_hook_arity(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/schedulers/arity.py": (
+                "from .base import Scheduler\n"
+                "\n"
+                "class BadArity(Scheduler):\n"
+                "    def rank(self, job):\n"
+                "        return 0\n"
+            )
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert len(diags) == 1
+    assert "takes 2 positional parameter(s)" in diags[0].message
+
+
+def test_hc006_is_a_warning_and_tolerates_sanctioned_helpers(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/cmp.py": (
+                "from .timeutil import times_close\n"
+                "\n"
+                "def same(deadline, now):\n"
+                "    return times_close(deadline, now)\n"
+                "\n"
+                "def bad(deadline):\n"
+                "    return deadline == 0.0\n"
+            )
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert [(d.rule, d.line, d.severity) for d in diags] == [
+        ("HC006", 7, Severity.WARNING)
+    ]

@@ -1,0 +1,15 @@
+"""The gate: the shipped source tree is hclint-clean.
+
+This is the tier-1 encoding of the determinism/contract invariants — it
+fails the build the moment a wall-clock read, global RNG draw, contract
+violation or hygiene regression lands anywhere in ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import run_lint
+
+
+def test_repo_is_hclint_clean():
+    diagnostics = run_lint()
+    assert diagnostics == [], "\n".join(d.format() for d in diagnostics)

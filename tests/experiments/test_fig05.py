@@ -1,6 +1,5 @@
 """The Fig. 5 toy example must match the paper exactly."""
 
-import pytest
 
 from repro.experiments import fig05_toy
 

@@ -1,6 +1,5 @@
 """Unit and property tests for execution-time models."""
 
-import math
 import random
 
 import pytest

@@ -10,7 +10,6 @@ must hold for every one of them:
 * the miss ratio is in [0, 1] and utilization in [0, 1].
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

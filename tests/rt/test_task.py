@@ -1,6 +1,5 @@
 """Unit tests for the task/job model."""
 
-import math
 
 import pytest
 

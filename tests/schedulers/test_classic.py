@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rt import ConstantExecTime, RTExecutor, SimConfig, TaskGraph, TaskSpec
+from repro.rt import RTExecutor, SimConfig, TaskGraph
 from repro.schedulers import FIFOScheduler, RateMonotonicScheduler
 from repro.schedulers.classic import RateMonotonicScheduler as RM
 from tests.conftest import build_chain_graph

@@ -1,6 +1,5 @@
 """The top-level package exports a coherent public API."""
 
-import pytest
 
 import repro
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.vehicle import BicycleDynamics, LaneKeepingPlant, OvalTrack, StanleyController
+from repro.vehicle import LaneKeepingPlant, OvalTrack
 
 
 def make_plant(**kwargs):

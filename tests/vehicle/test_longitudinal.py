@@ -1,6 +1,5 @@
 """Unit tests for longitudinal dynamics and the ACC law."""
 
-import math
 
 import pytest
 

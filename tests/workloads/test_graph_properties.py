@@ -1,6 +1,5 @@
 """Property-based structural tests over generated task graphs."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rt import ConstantExecTime, Criticality, ExecContext, TaskKind
+from repro.rt import ConstantExecTime, Criticality, ExecContext
 from repro.workloads import (
     CONTROL_TASK,
     FUSION_TASK,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.rt import ConstantExecTime
 from repro.workloads import full_task_graph
 from repro.workloads.generator import GeneratorConfig, generate_graph
 from repro.workloads.validation import render_report, validate_platform
