@@ -2,30 +2,25 @@
 
 Not a paper artifact, but the number a downstream user asks first: how fast
 does the substrate simulate the 23-task graph?
+
+The bench body lives in :mod:`repro.devtools.bench.kernels` and is shared
+with the ``hcperf bench`` runner (the ``executor_edf`` / ``executor_hcperf``
+entries of the smoke suite), so pytest-benchmark and ``BENCH_*.json`` time
+the same code path.
 """
 
-from repro.rt import RTExecutor, SimConfig
-from repro.schedulers import EDFScheduler, HCPerfScheduler
-from repro.workloads import full_task_graph
-
-
-def _simulate(scheduler_factory, horizon=5.0):
-    graph = full_task_graph()
-    executor = RTExecutor(
-        graph,
-        scheduler_factory(),
-        SimConfig(n_processors=2, horizon=horizon, coordination_period=0.5, seed=0),
-    )
-    return executor.run()
+from repro.devtools.bench.kernels import executor_sim
 
 
 def test_bench_executor_edf(benchmark):
-    metrics = benchmark.pedantic(_simulate, args=(EDFScheduler,), rounds=3, iterations=1)
-    assert metrics.total_finished > 0
+    metrics = benchmark.pedantic(
+        executor_sim, args=("EDF",), kwargs={"horizon": 5.0}, rounds=3, iterations=1
+    )
+    assert metrics["tasks_finished"] > 0
 
 
 def test_bench_executor_hcperf(benchmark):
     metrics = benchmark.pedantic(
-        _simulate, args=(HCPerfScheduler,), rounds=3, iterations=1
+        executor_sim, args=("HCPerf",), kwargs={"horizon": 5.0}, rounds=3, iterations=1
     )
-    assert metrics.total_finished > 0
+    assert metrics["tasks_finished"] > 0

@@ -13,7 +13,11 @@ Modes:
   the store into comparison tables;
 * ``hcperf lint [--rule ID] [--format text|json]`` — hclint, the
   AST-based invariant checker (determinism, scheduler contracts,
-  hygiene; see docs/static_analysis.md).
+  hygiene; see docs/static_analysis.md);
+* ``hcperf bench run|compare|list`` — machine-readable benchmark
+  harness: run a registered suite to ``BENCH_<tag>.json`` and gate a new
+  report against a baseline with a perf-regression threshold (see
+  docs/benchmarks.md).
 """
 
 from __future__ import annotations
@@ -105,6 +109,10 @@ def _list_experiments() -> str:
     lines.append(
         "Static analysis:  hcperf lint [PATH ...] [--rule ID] "
         "[--format text|json] [--list-rules]"
+    )
+    lines.append(
+        "Benchmarks:       hcperf bench {run,compare,list} "
+        "[--suite smoke|full] [-o PATH] [--threshold PCT]"
     )
     return "\n".join(lines)
 
@@ -328,6 +336,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .devtools.lint.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .devtools.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(_list_experiments())

@@ -1,0 +1,55 @@
+"""Machine-readable benchmark harness (``hcperf bench run|compare|list``).
+
+The repo's perf claims are quantitative; this package makes them
+enforceable.  ``runner`` executes a registered suite of deterministic
+bench bodies (``kernels``) and writes a version-pinned ``BENCH_*.json``
+(``schema``); ``compare`` gates a new report against a committed baseline
+with a noise-tolerant min-of-rounds threshold.  CI runs the ``smoke``
+suite on every PR against ``benchmarks/baseline.json`` — see
+docs/benchmarks.md.
+"""
+
+from .compare import (
+    BenchDelta,
+    Comparison,
+    compare_reports,
+    render_comparison,
+)
+from .registry import (
+    BenchSpec,
+    all_benches,
+    get_bench,
+    get_suite,
+    register_bench,
+    suite_names,
+)
+from .runner import run_bench, run_suite
+from .schema import (
+    SCHEMA_VERSION,
+    BenchReport,
+    BenchResult,
+    Environment,
+    collect_environment,
+    load_report,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchDelta",
+    "BenchReport",
+    "BenchResult",
+    "BenchSpec",
+    "Comparison",
+    "Environment",
+    "all_benches",
+    "collect_environment",
+    "compare_reports",
+    "get_bench",
+    "get_suite",
+    "load_report",
+    "register_bench",
+    "render_comparison",
+    "run_bench",
+    "run_suite",
+    "suite_names",
+]

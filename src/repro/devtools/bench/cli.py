@@ -1,0 +1,130 @@
+"""``hcperf bench`` — run, compare, and list machine-readable benchmarks.
+
+Exit codes: 0 success / comparison passed, 1 comparison failed
+(regression or missing bench), 2 usage error (unknown suite/bench,
+unreadable file, bad schema).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .compare import DEFAULT_THRESHOLD, compare_reports, render_comparison
+from .registry import all_benches, suite_names
+from .runner import run_suite
+from .schema import load_report
+
+__all__ = ["build_bench_parser", "main"]
+
+
+def build_bench_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hcperf bench",
+        description=(
+            "Machine-readable benchmark harness: run a registered suite to "
+            "a BENCH_<tag>.json file, or compare two such files with a "
+            "perf-regression threshold (see docs/benchmarks.md)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a suite and write BENCH_<tag>.json")
+    run.add_argument(
+        "--suite",
+        default="smoke",
+        help="suite to run (default smoke; see 'hcperf bench list')",
+    )
+    run.add_argument(
+        "--bench",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="restrict to this bench (repeatable)",
+    )
+    run.add_argument(
+        "--rounds", type=int, default=None, help="override every bench's round count"
+    )
+    run.add_argument(
+        "--tag", default=None, help="report tag (default: the suite name)"
+    )
+    run.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output file (default BENCH_<tag>.json)",
+    )
+    run.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-bench progress"
+    )
+
+    compare = sub.add_parser(
+        "compare", help="compare two reports; nonzero exit on regression"
+    )
+    compare.add_argument("baseline", help="baseline BENCH_*.json")
+    compare.add_argument("new", help="new BENCH_*.json to gate")
+    compare.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        metavar="PCT",
+        help=f"allowed wall-clock growth in percent (default {DEFAULT_THRESHOLD:g})",
+    )
+
+    sub.add_parser("list", help="list registered benches and suites")
+    return parser
+
+
+def _run_command(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
+    try:
+        report = run_suite(
+            suite=args.suite,
+            only=args.bench,
+            rounds=args.rounds,
+            tag=args.tag,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = args.output or f"BENCH_{report.tag}.json"
+    path = report.dump(out)
+    print(f"wrote {path} ({len(report.benches)} benches, suite {report.suite})")
+    return 0
+
+
+def _compare_command(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_report(args.baseline)
+        new = load_report(args.new)
+        comparison = compare_reports(baseline, new, threshold_pct=args.threshold)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _list_command() -> int:
+    print(f"Suites: {', '.join(suite_names())}")
+    print()
+    for spec in all_benches():
+        suites = ",".join(spec.suites)
+        print(f"  {spec.name:20s} [{suites:11s}] x{spec.rounds}  {spec.description}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_bench_parser().parse_args(argv)
+    if args.command == "run":
+        return _run_command(args)
+    if args.command == "compare":
+        return _compare_command(args)
+    return _list_command()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

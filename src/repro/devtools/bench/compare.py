@@ -1,0 +1,150 @@
+"""The perf-regression comparator behind ``hcperf bench compare``.
+
+Semantics (noise-tolerant by construction):
+
+* the gated statistic is **min over rounds** — the fastest round is the
+  least-noisy estimate of the code's cost on that machine;
+* a bench **regresses** when ``new.wall_min > base.wall_min * (1 + t/100)``
+  for threshold ``t`` percent; it **improves** symmetrically below
+  ``base / (1 + t/100)`` (improvements are reported, never fatal);
+* a bench present in the baseline but **missing** from the new report is a
+  failure — silently dropping a benchmark is how regressions hide;
+* benches only in the new report are informational (coverage grew);
+* an **environment-fingerprint mismatch** (different python / platform /
+  CPU count) downgrades every wall-clock failure to a warning: deltas
+  across machines are advisory, not gates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ...analysis.report import format_table
+from .schema import BenchReport
+
+__all__ = ["BenchDelta", "Comparison", "compare_reports", "render_comparison"]
+
+#: Default regression threshold, percent.
+DEFAULT_THRESHOLD = 20.0
+
+
+@dataclass
+class BenchDelta:
+    """One bench's baseline-vs-new outcome."""
+
+    name: str
+    base_min: float
+    new_min: float
+    #: ``ok`` / ``faster`` / ``REGRESSED`` / ``MISSING`` / ``new``
+    status: str
+
+    @property
+    def delta_pct(self) -> float:
+        if self.base_min <= 0:
+            return 0.0
+        return (self.new_min / self.base_min - 1.0) * 100.0
+
+
+@dataclass
+class Comparison:
+    """Full comparison outcome: per-bench rows plus the verdict."""
+
+    baseline_tag: str
+    new_tag: str
+    threshold_pct: float
+    deltas: List[BenchDelta] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def compare_reports(
+    baseline: BenchReport,
+    new: BenchReport,
+    threshold_pct: float = DEFAULT_THRESHOLD,
+) -> Comparison:
+    """Compare ``new`` against ``baseline`` at ``threshold_pct`` percent."""
+    if threshold_pct < 0:
+        raise ValueError("threshold must be >= 0")
+    comparison = Comparison(
+        baseline_tag=baseline.tag, new_tag=new.tag, threshold_pct=threshold_pct
+    )
+    env_diffs = baseline.environment.mismatches(new.environment)
+    gate_wall = not env_diffs
+    for diff in env_diffs:
+        comparison.warnings.append(f"environment mismatch: {diff}")
+    if env_diffs:
+        comparison.warnings.append(
+            "environments differ; wall-clock deltas are advisory (not gated)"
+        )
+
+    factor = 1.0 + threshold_pct / 100.0
+    for name, base in sorted(baseline.benches.items()):
+        if name not in new.benches:
+            comparison.deltas.append(
+                BenchDelta(name=name, base_min=base.wall_min, new_min=0.0, status="MISSING")
+            )
+            comparison.failures.append(
+                f"{name}: present in baseline but missing from {new.tag}"
+            )
+            continue
+        new_min = new.benches[name].wall_min
+        if base.wall_min > 0 and new_min > base.wall_min * factor:
+            status = "REGRESSED"
+            message = (
+                f"{name}: {base.wall_min * 1000:.2f} ms -> {new_min * 1000:.2f} ms "
+                f"(+{(new_min / base.wall_min - 1) * 100:.1f}% > {threshold_pct:g}% threshold)"
+            )
+            if gate_wall:
+                comparison.failures.append(message)
+            else:
+                comparison.warnings.append(message + " [advisory: environments differ]")
+        elif base.wall_min > 0 and new_min < base.wall_min / factor:
+            status = "faster"
+        else:
+            status = "ok"
+        comparison.deltas.append(
+            BenchDelta(name=name, base_min=base.wall_min, new_min=new_min, status=status)
+        )
+
+    for name in sorted(set(new.benches) - set(baseline.benches)):
+        comparison.deltas.append(
+            BenchDelta(
+                name=name, base_min=0.0, new_min=new.benches[name].wall_min, status="new"
+            )
+        )
+    return comparison
+
+
+def render_comparison(comparison: Comparison) -> str:
+    """The delta table plus warnings and the verdict line."""
+    rows = []
+    for d in comparison.deltas:
+        rows.append([
+            d.name,
+            f"{d.base_min * 1000:.3f}" if d.base_min > 0 else "-",
+            f"{d.new_min * 1000:.3f}" if d.new_min > 0 else "-",
+            f"{d.delta_pct:+.1f}%" if d.base_min > 0 and d.new_min > 0 else "-",
+            d.status,
+        ])
+    table = format_table(
+        f"bench compare — {comparison.baseline_tag} vs {comparison.new_tag} "
+        f"(threshold {comparison.threshold_pct:g}%, min over rounds)",
+        ["bench", "base min (ms)", "new min (ms)", "delta", "status"],
+        rows,
+    )
+    lines = [table]
+    for warning in comparison.warnings:
+        lines.append(f"warning: {warning}")
+    for failure in comparison.failures:
+        lines.append(f"FAIL: {failure}")
+    verdict = "PASS" if comparison.ok else "FAIL"
+    lines.append(
+        f"{verdict}: {len(comparison.failures)} failure(s), "
+        f"{len(comparison.warnings)} warning(s) over {len(comparison.deltas)} bench(es)"
+    )
+    return "\n".join(lines)

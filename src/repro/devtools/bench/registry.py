@@ -1,0 +1,97 @@
+"""The benchmark suite registry.
+
+A :class:`BenchSpec` names one measurable body — an importable zero-arg
+callable returning its domain metrics — plus how to run it (rounds) and
+where it belongs (suites).  The pytest benches under ``benchmarks/`` and
+the ``hcperf bench`` runner both import the same bodies from
+:mod:`repro.devtools.bench.kernels`, so a number printed by pytest and a
+number recorded in ``BENCH_*.json`` come from the same code path.
+
+Suites:
+
+* ``smoke`` — the pinned CI subset: fast, deterministic workloads covering
+  the executor, the perception micro-kernels, the coordination step, and
+  one fleet multi-seed grid.  CI compares this suite against the committed
+  ``benchmarks/baseline.json`` on every PR.
+* ``full`` — ``smoke`` plus the longer-horizon / larger-n variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["BenchSpec", "register_bench", "get_bench", "get_suite", "suite_names", "all_benches"]
+
+#: A bench body: runs one round of work, returns its domain metrics.
+BenchFn = Callable[[], Mapping[str, float]]
+
+
+@dataclass
+class BenchSpec:
+    """One registered benchmark."""
+
+    name: str
+    fn: BenchFn
+    description: str = ""
+    #: Timing rounds per run; ``compare`` gates on the min across rounds.
+    rounds: int = 3
+    suites: Tuple[str, ...] = ("smoke", "full")
+    #: Simulated seconds covered by one round; when set, the runner derives
+    #: ``sim_rate`` (simulated seconds per wall-clock second) as a metric.
+    sim_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("bench name must be non-empty")
+        if self.rounds < 1:
+            raise ValueError(f"bench {self.name}: rounds must be >= 1")
+        if not self.suites:
+            raise ValueError(f"bench {self.name}: must belong to at least one suite")
+
+
+_REGISTRY: Dict[str, BenchSpec] = {}
+
+
+def register_bench(spec: BenchSpec) -> BenchSpec:
+    """Add ``spec`` to the global registry (duplicate names are a bug)."""
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate bench name {spec.name}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def _ensure_builtin_benches() -> None:
+    # Importing kernels registers the built-in suite; deferred to first use
+    # so registry <-> kernels imports stay acyclic.
+    from . import kernels  # noqa: F401
+
+
+def all_benches() -> List[BenchSpec]:
+    """Every registered bench, sorted by name."""
+    _ensure_builtin_benches()
+    return [spec for _, spec in sorted(_REGISTRY.items())]
+
+
+def get_bench(name: str) -> BenchSpec:
+    _ensure_builtin_benches()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown bench {name!r} (known: {known})") from None
+
+
+def suite_names() -> List[str]:
+    _ensure_builtin_benches()
+    names = {suite for spec in _REGISTRY.values() for suite in spec.suites}
+    return sorted(names)
+
+
+def get_suite(suite: str) -> List[BenchSpec]:
+    """All benches in ``suite``, sorted by name."""
+    _ensure_builtin_benches()
+    members = [spec for spec in all_benches() if suite in spec.suites]
+    if not members:
+        raise ValueError(f"unknown suite {suite!r} (known: {', '.join(suite_names())})")
+    return members

@@ -1,0 +1,103 @@
+"""The benchmark runner: execute a suite, produce a :class:`BenchReport`.
+
+The runner owns the stopwatch (an injectable
+:data:`~repro.devtools.timing.Timer`, so tests stay deterministic) and
+times each bench body over ``spec.rounds`` rounds.  The body's return
+value is recorded verbatim as domain metrics; for specs declaring
+``sim_seconds`` the runner derives ``sim_rate`` — simulated seconds per
+wall-clock second, the engine's headline throughput number — from the
+fastest round.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from ..timing import Timer, default_timer
+from .registry import BenchSpec, get_bench, get_suite
+from .schema import BenchReport, BenchResult, collect_environment
+
+__all__ = ["run_bench", "run_suite"]
+
+#: Progress sink: called with one line per completed bench.
+Progress = Callable[[str], None]
+
+
+def run_bench(
+    spec: BenchSpec,
+    rounds: Optional[int] = None,
+    timer: Optional[Timer] = None,
+) -> BenchResult:
+    """Time one bench over ``rounds`` rounds (default: the spec's)."""
+    clock = timer if timer is not None else default_timer()
+    n_rounds = rounds if rounds is not None else spec.rounds
+    if n_rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    wall_times = []
+    metrics: Dict[str, float] = {}
+    for _ in range(n_rounds):
+        t0 = clock()
+        raw = spec.fn()
+        wall_times.append(clock() - t0)
+        metrics = {str(k): float(v) for k, v in dict(raw or {}).items()}
+    result = BenchResult(
+        name=spec.name, rounds=n_rounds, wall_times=wall_times, metrics=metrics
+    )
+    if spec.sim_seconds is not None and result.wall_min > 0:
+        result.metrics["sim_rate"] = spec.sim_seconds / result.wall_min
+    return result
+
+
+def run_suite(
+    suite: str = "smoke",
+    only: Optional[Sequence[str]] = None,
+    rounds: Optional[int] = None,
+    tag: Optional[str] = None,
+    timer: Optional[Timer] = None,
+    specs: Optional[Sequence[BenchSpec]] = None,
+    progress: Optional[Progress] = None,
+) -> BenchReport:
+    """Run every bench of ``suite`` and assemble the report.
+
+    Parameters
+    ----------
+    suite:
+        Registered suite name (``smoke``/``full``).
+    only:
+        Restrict to these bench names; names outside the suite resolve
+        through the full registry so a single bench is always reachable.
+    rounds:
+        Override every spec's round count (e.g. ``1`` for a quick look).
+    tag:
+        Report tag (defaults to the suite name); names the output file.
+    timer:
+        Injectable stopwatch (tests pass a fake; default wall clock).
+    specs:
+        Explicit spec list, bypassing the registry (for tests).
+    progress:
+        Per-bench progress callback (one formatted line per bench).
+    """
+    if specs is None:
+        selected = get_suite(suite)
+        if only:
+            wanted = list(dict.fromkeys(only))
+            by_name = {spec.name: spec for spec in selected}
+            selected = [by_name.get(name) or get_bench(name) for name in wanted]
+    else:
+        selected = list(specs)
+    if not selected:
+        raise ValueError("no benches selected")
+
+    report = BenchReport(
+        suite=suite, tag=tag or suite, environment=collect_environment()
+    )
+    for spec in selected:
+        result = run_bench(spec, rounds=rounds, timer=timer)
+        report.benches[spec.name] = result
+        if progress is not None:
+            progress(
+                f"{spec.name:24s} min {result.wall_min * 1000:9.2f} ms  "
+                f"median {result.wall_median * 1000:9.2f} ms  "
+                f"({result.rounds} round{'s' if result.rounds != 1 else ''})"
+            )
+    return report

@@ -1,0 +1,207 @@
+"""The machine-readable benchmark result schema.
+
+A benchmark run serializes to one ``BENCH_<tag>.json`` file whose shape is
+version-pinned (``SCHEMA_VERSION``): per-bench wall-clock statistics
+(min/median over N rounds), the bench's own domain metrics (tasks
+finished, miss ratio, sim-rate, ...), and an environment fingerprint that
+lets the comparator distinguish "this code got slower" from "this ran on
+different hardware".  ``bench compare`` consumes two of these files; CI
+archives one per PR, growing the repo's perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Environment",
+    "BenchResult",
+    "BenchReport",
+    "collect_environment",
+    "load_report",
+]
+
+#: Bump when the JSON shape changes; ``bench compare`` refuses to mix versions.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class Environment:
+    """Where a benchmark report was produced (fingerprint, not identity).
+
+    A mismatch between two reports' environments downgrades the comparison
+    to advisory: wall-clock deltas across machines are warnings, never
+    hard failures.
+    """
+
+    python: str
+    implementation: str
+    platform: str
+    cpu_count: int
+    commit: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "python": self.python,
+            "implementation": self.implementation,
+            "platform": self.platform,
+            "cpu_count": self.cpu_count,
+            "commit": self.commit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Environment":
+        return cls(
+            python=str(data.get("python", "unknown")),
+            implementation=str(data.get("implementation", "unknown")),
+            platform=str(data.get("platform", "unknown")),
+            cpu_count=int(data.get("cpu_count", 0)),  # type: ignore[arg-type]
+            commit=str(data.get("commit", "unknown")),
+        )
+
+    def mismatches(self, other: "Environment") -> List[str]:
+        """Human-readable fingerprint differences vs ``other``."""
+        diffs = []
+        for field_name in ("python", "implementation", "platform", "cpu_count"):
+            a, b = getattr(self, field_name), getattr(other, field_name)
+            if a != b:
+                diffs.append(f"{field_name}: {a} vs {b}")
+        return diffs
+
+
+def _git_commit(cwd: Optional[Path] = None) -> str:
+    """Short commit hash of the working tree, or ``unknown`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd or Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 and out.stdout.strip() else "unknown"
+
+
+def collect_environment() -> Environment:
+    """Fingerprint the current interpreter/host/checkout."""
+    return Environment(
+        python=platform.python_version(),
+        implementation=platform.python_implementation(),
+        platform=platform.platform(),
+        cpu_count=os.cpu_count() or 1,
+        commit=_git_commit(),
+    )
+
+
+@dataclass
+class BenchResult:
+    """One bench's measurement: wall-clock rounds plus domain metrics."""
+
+    name: str
+    rounds: int
+    wall_times: List[float]
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def wall_min(self) -> float:
+        """Fastest round — the noise-tolerant statistic ``compare`` gates on."""
+        return min(self.wall_times)
+
+    @property
+    def wall_median(self) -> float:
+        ordered = sorted(self.wall_times)
+        n = len(ordered)
+        mid = n // 2
+        if n % 2:
+            return ordered[mid]
+        return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rounds": self.rounds,
+            "wall_times": list(self.wall_times),
+            "wall_min": self.wall_min,
+            "wall_median": self.wall_median,
+            "metrics": dict(self.metrics),
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, object]) -> "BenchResult":
+        wall_times = [float(t) for t in data.get("wall_times", [])]  # type: ignore[union-attr]
+        if not wall_times:
+            # Doctored/minimal files may carry only the summary statistic.
+            wall_times = [float(data.get("wall_min", 0.0))]  # type: ignore[arg-type]
+        metrics = {str(k): float(v) for k, v in dict(data.get("metrics", {})).items()}  # type: ignore[arg-type]
+        return cls(
+            name=name,
+            rounds=int(data.get("rounds", len(wall_times))),  # type: ignore[arg-type]
+            wall_times=wall_times,
+            metrics=metrics,
+        )
+
+
+@dataclass
+class BenchReport:
+    """A full suite run: every bench result plus provenance."""
+
+    suite: str
+    tag: str
+    environment: Environment
+    benches: Dict[str, BenchResult] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "tag": self.tag,
+            "environment": self.environment.to_dict(),
+            "benches": {name: res.to_dict() for name, res in sorted(self.benches.items())},
+        }
+
+    def dump(self, path: Union[str, Path]) -> Path:
+        """Write the report as pretty-printed JSON; returns the path."""
+        out = Path(path)
+        out.write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "BenchReport":
+        version = int(data.get("schema_version", 0))  # type: ignore[arg-type]
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported bench schema version {version} (expected {SCHEMA_VERSION})"
+            )
+        benches_raw = dict(data.get("benches", {}))  # type: ignore[arg-type]
+        return cls(
+            suite=str(data.get("suite", "unknown")),
+            tag=str(data.get("tag", "unknown")),
+            environment=Environment.from_dict(dict(data.get("environment", {}))),  # type: ignore[arg-type]
+            benches={
+                str(name): BenchResult.from_dict(str(name), res)
+                for name, res in benches_raw.items()
+            },
+            schema_version=version,
+        )
+
+
+def load_report(path: Union[str, Path]) -> BenchReport:
+    """Parse a ``BENCH_*.json`` file, validating the schema version."""
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc})") from None
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    return BenchReport.from_dict(data)

@@ -1,0 +1,95 @@
+"""CLI tests for ``hcperf bench run|compare|list``."""
+
+import json
+
+import pytest
+
+from repro.cli import main as hcperf_main
+from repro.devtools.bench.cli import main as bench_main
+
+
+def _run_single(tmp_path, name, out_name="BENCH_a.json"):
+    out = tmp_path / out_name
+    rc = bench_main(
+        ["run", "--suite", "smoke", "--bench", name, "--rounds", "1", "-o", str(out), "-q"]
+    )
+    assert rc == 0
+    return out
+
+
+class TestBenchRun:
+    def test_run_writes_schema_valid_json(self, tmp_path, capsys):
+        out = _run_single(tmp_path, "hungarian_40")
+        payload = json.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["suite"] == "smoke"
+        bench = payload["benches"]["hungarian_40"]
+        assert bench["rounds"] == 1
+        assert bench["wall_min"] > 0
+        assert bench["metrics"]["n"] == 40.0
+        assert payload["environment"]["cpu_count"] >= 1
+        assert "wrote" in capsys.readouterr().out
+
+    def test_run_default_output_name_uses_tag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        rc = bench_main(
+            ["run", "--suite", "smoke", "--bench", "fusion_40", "--rounds", "1",
+             "--tag", "pr", "-q"]
+        )
+        assert rc == 0
+        assert (tmp_path / "BENCH_pr.json").exists()
+
+    def test_unknown_suite_is_usage_error(self, capsys):
+        assert bench_main(["run", "--suite", "nope"]) == 2
+        assert "unknown suite" in capsys.readouterr().err
+
+    def test_unknown_bench_is_usage_error(self, capsys):
+        assert bench_main(["run", "--bench", "nope"]) == 2
+        assert "unknown bench" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def test_identical_files_pass(self, tmp_path, capsys):
+        out = _run_single(tmp_path, "fusion_40")
+        rc = bench_main(["compare", str(out), str(out), "--threshold", "0"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_doctored_regression_fails_with_delta_table(self, tmp_path, capsys):
+        out = _run_single(tmp_path, "fusion_40")
+        doctored = tmp_path / "BENCH_slow.json"
+        payload = json.loads(out.read_text())
+        for bench in payload["benches"].values():
+            bench["wall_times"] = [t * 2 for t in bench["wall_times"]]
+        doctored.write_text(json.dumps(payload))
+        rc = bench_main(["compare", str(out), str(doctored), "--threshold", "20"])
+        assert rc == 1
+        captured = capsys.readouterr().out
+        assert "REGRESSED" in captured and "FAIL" in captured
+        assert "+100.0%" in captured
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert bench_main(["compare", str(tmp_path / "no.json"), str(tmp_path / "no.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBenchList:
+    def test_list_names_suites_and_benches(self, capsys):
+        assert bench_main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Suites: full, smoke" in out
+        assert "hungarian_40" in out and "executor_edf" in out
+
+
+class TestTopLevelWiring:
+    def test_hcperf_bench_dispatch(self, capsys):
+        assert hcperf_main(["bench", "list"]) == 0
+        assert "hungarian_40" in capsys.readouterr().out
+
+    def test_list_output_advertises_bench(self, capsys):
+        hcperf_main(["list"])
+        assert "Benchmarks:" in capsys.readouterr().out
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            bench_main([])

@@ -1,0 +1,134 @@
+"""Comparator tests: the satellite contract of ``bench compare``.
+
+* identical runs pass;
+* an injected 2x slowdown fails;
+* a bench missing from the new file is reported (and fails);
+* an environment-fingerprint mismatch emits a warning, not a failure.
+"""
+
+import copy
+
+import pytest
+
+from repro.devtools.bench import (
+    BenchReport,
+    BenchResult,
+    Environment,
+    compare_reports,
+    render_comparison,
+)
+
+
+def _env(**overrides):
+    base = dict(
+        python="3.12.0",
+        implementation="CPython",
+        platform="Linux-test",
+        cpu_count=8,
+        commit="abc1234",
+    )
+    base.update(overrides)
+    return Environment(**base)
+
+
+def _report(tag="base", walls=None, env=None):
+    walls = walls if walls is not None else {"executor": 0.050, "hungarian": 0.008}
+    report = BenchReport(suite="smoke", tag=tag, environment=env or _env())
+    for name, wall in walls.items():
+        report.benches[name] = BenchResult(
+            name=name, rounds=3, wall_times=[wall, wall * 1.1, wall * 1.2]
+        )
+    return report
+
+
+class TestCompare:
+    def test_identical_runs_pass(self):
+        base = _report("a")
+        comparison = compare_reports(base, copy.deepcopy(base), threshold_pct=20)
+        assert comparison.ok
+        assert comparison.failures == []
+        assert {d.status for d in comparison.deltas} == {"ok"}
+
+    def test_identical_runs_pass_at_zero_threshold(self):
+        base = _report("a")
+        comparison = compare_reports(base, copy.deepcopy(base), threshold_pct=0)
+        assert comparison.ok
+
+    def test_2x_slowdown_fails(self):
+        base = _report("base")
+        slow = _report("slow", walls={"executor": 0.100, "hungarian": 0.008})
+        comparison = compare_reports(base, slow, threshold_pct=20)
+        assert not comparison.ok
+        assert any("executor" in f and "+100.0%" in f for f in comparison.failures)
+        statuses = {d.name: d.status for d in comparison.deltas}
+        assert statuses["executor"] == "REGRESSED"
+        assert statuses["hungarian"] == "ok"
+
+    def test_min_of_rounds_tolerates_one_noisy_round(self):
+        base = _report("base")
+        noisy = _report("noisy")
+        # One 5x-slow round; the min round is unchanged, so no regression.
+        noisy.benches["executor"].wall_times[2] *= 5
+        assert compare_reports(base, noisy, threshold_pct=20).ok
+
+    def test_missing_bench_reported_and_fails(self):
+        base = _report("base")
+        partial = _report("partial", walls={"executor": 0.050})
+        comparison = compare_reports(base, partial, threshold_pct=20)
+        assert not comparison.ok
+        assert any("hungarian" in f and "missing" in f for f in comparison.failures)
+        assert any(d.status == "MISSING" for d in comparison.deltas)
+
+    def test_new_bench_is_informational(self):
+        base = _report("base")
+        grown = _report("grown", walls={"executor": 0.050, "hungarian": 0.008, "extra": 0.001})
+        comparison = compare_reports(base, grown, threshold_pct=20)
+        assert comparison.ok
+        assert any(d.name == "extra" and d.status == "new" for d in comparison.deltas)
+
+    def test_env_mismatch_warns_not_fails(self):
+        base = _report("base")
+        other = _report(
+            "other",
+            walls={"executor": 0.200, "hungarian": 0.008},  # 4x slower...
+            env=_env(cpu_count=2, platform="Darwin-test"),  # ...on other hardware
+        )
+        comparison = compare_reports(base, other, threshold_pct=20)
+        assert comparison.ok  # advisory, not gated
+        assert any("environment mismatch" in w for w in comparison.warnings)
+        assert any("advisory" in w for w in comparison.warnings)
+
+    def test_env_mismatch_still_fails_on_missing_bench(self):
+        base = _report("base")
+        partial = _report("partial", walls={"executor": 0.050}, env=_env(cpu_count=2))
+        comparison = compare_reports(base, partial, threshold_pct=20)
+        assert not comparison.ok  # coverage loss is machine-independent
+
+    def test_improvement_is_marked_faster(self):
+        base = _report("base")
+        fast = _report("fast", walls={"executor": 0.020, "hungarian": 0.008})
+        comparison = compare_reports(base, fast, threshold_pct=20)
+        assert comparison.ok
+        statuses = {d.name: d.status for d in comparison.deltas}
+        assert statuses["executor"] == "faster"
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_reports(_report(), _report(), threshold_pct=-1)
+
+
+class TestRender:
+    def test_delta_table_is_readable(self):
+        base = _report("base")
+        slow = _report("slow", walls={"executor": 0.100})
+        out = render_comparison(compare_reports(base, slow, threshold_pct=20))
+        assert "bench compare" in out
+        assert "threshold 20%" in out
+        assert "REGRESSED" in out and "MISSING" in out
+        assert out.strip().endswith(")")
+        assert "FAIL:" in out
+
+    def test_pass_verdict_line(self):
+        base = _report("base")
+        out = render_comparison(compare_reports(base, copy.deepcopy(base)))
+        assert "PASS: 0 failure(s)" in out

@@ -1,0 +1,171 @@
+"""Runner/registry/schema tests for the benchmark harness.
+
+The runner is exercised against toy specs with an injected fake timer, so
+no real workload runs and every wall-clock number is deterministic.
+"""
+
+import json
+
+import pytest
+
+from repro.devtools.bench import (
+    SCHEMA_VERSION,
+    BenchSpec,
+    all_benches,
+    collect_environment,
+    get_bench,
+    get_suite,
+    load_report,
+    run_bench,
+    run_suite,
+    suite_names,
+)
+from repro.devtools.timing import fake_timer
+
+
+def _toy_spec(name="toy", rounds=3, sim_seconds=None):
+    return BenchSpec(
+        name=name,
+        fn=lambda: {"answer": 42.0},
+        description="toy",
+        rounds=rounds,
+        suites=("toy",),
+        sim_seconds=sim_seconds,
+    )
+
+
+class TestRegistry:
+    def test_builtin_suites(self):
+        assert "smoke" in suite_names() and "full" in suite_names()
+
+    def test_smoke_is_subset_of_full(self):
+        smoke = {s.name for s in get_suite("smoke")}
+        full = {s.name for s in get_suite("full")}
+        assert smoke <= full
+        assert smoke  # non-empty
+
+    def test_smoke_covers_the_pinned_workloads(self):
+        names = {s.name for s in get_suite("smoke")}
+        assert {
+            "executor_edf",
+            "executor_hcperf",
+            "hungarian_40",
+            "fusion_40",
+            "coordination_step",
+            "fleet_multi_seed",
+        } <= names
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown suite"):
+            get_suite("does_not_exist")
+
+    def test_unknown_bench_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench"):
+            get_bench("does_not_exist")
+
+    def test_specs_are_well_formed(self):
+        for spec in all_benches():
+            assert spec.rounds >= 1
+            assert spec.suites
+            assert spec.description
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError):
+            BenchSpec(name="", fn=lambda: {})
+        with pytest.raises(ValueError):
+            BenchSpec(name="x", fn=lambda: {}, rounds=0)
+
+
+class TestRunner:
+    def test_wall_stats_from_injected_timer(self):
+        # fake_timer advances 1 ms per call: each round costs exactly 1 ms.
+        result = run_bench(_toy_spec(rounds=3), timer=fake_timer(0.001))
+        assert result.rounds == 3
+        assert len(result.wall_times) == 3
+        assert result.wall_min == pytest.approx(0.001)
+        assert result.wall_median == pytest.approx(0.001)
+        assert result.metrics["answer"] == 42.0
+
+    def test_sim_rate_derived_from_sim_seconds(self):
+        result = run_bench(
+            _toy_spec(rounds=1, sim_seconds=5.0), timer=fake_timer(0.001)
+        )
+        assert result.metrics["sim_rate"] == pytest.approx(5.0 / 0.001)
+
+    def test_rounds_override(self):
+        result = run_bench(_toy_spec(rounds=5), rounds=1, timer=fake_timer())
+        assert result.rounds == 1
+
+    def test_run_suite_with_explicit_specs(self):
+        specs = [_toy_spec("a"), _toy_spec("b")]
+        lines = []
+        report = run_suite(
+            suite="toy",
+            specs=specs,
+            timer=fake_timer(),
+            tag="unit",
+            progress=lines.append,
+        )
+        assert sorted(report.benches) == ["a", "b"]
+        assert report.tag == "unit"
+        assert len(lines) == 2 and "a" in lines[0]
+
+    def test_run_suite_only_filter(self):
+        report = run_suite(
+            suite="smoke", only=["hungarian_40"], rounds=1, tag="t"
+        )
+        assert list(report.benches) == ["hungarian_40"]
+        assert report.benches["hungarian_40"].metrics["n"] == 40.0
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ValueError, match="no benches"):
+            run_suite(specs=[])
+
+
+class TestSchema:
+    def test_report_json_roundtrip(self, tmp_path):
+        report = run_suite(
+            specs=[_toy_spec(sim_seconds=2.0)], timer=fake_timer(), tag="rt"
+        )
+        path = report.dump(tmp_path / "BENCH_rt.json")
+        loaded = load_report(path)
+        assert loaded.schema_version == SCHEMA_VERSION
+        assert loaded.tag == "rt"
+        assert loaded.benches["toy"].wall_min == report.benches["toy"].wall_min
+        assert loaded.benches["toy"].metrics == report.benches["toy"].metrics
+        assert loaded.environment.python == report.environment.python
+
+    def test_environment_fingerprint_fields(self):
+        env = collect_environment()
+        assert env.cpu_count >= 1
+        assert env.python.count(".") >= 1
+        assert env.mismatches(env) == []
+
+    def test_schema_version_pinned(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema_version": 99, "benches": {}}))
+        with pytest.raises(ValueError, match="schema version"):
+            load_report(path)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_report(path)
+
+    def test_committed_baseline_loads(self):
+        # The CI gate depends on this file staying schema-valid.
+        from pathlib import Path
+
+        baseline = Path(__file__).resolve().parents[2] / "benchmarks" / "baseline.json"
+        report = load_report(baseline)
+        assert report.suite == "smoke"
+        smoke = {s.name for s in get_suite("smoke")}
+        assert smoke <= set(report.benches)
+
+    def test_median_even_rounds(self):
+        from repro.devtools.bench import BenchResult
+
+        result = BenchResult(name="m", rounds=4, wall_times=[4.0, 1.0, 2.0, 3.0])
+        assert result.wall_min == 1.0
+        assert result.wall_median == 2.5
