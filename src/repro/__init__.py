@@ -26,6 +26,11 @@ Package map
 ``repro.fleet``
     Campaign engine: scenario × scheduler × seed grids sharded over a
     worker pool, streamed into a resumable JSONL result store.
+``repro.faults``
+    Deterministic fault injection: declarative :class:`~repro.faults.spec.FaultSpec`
+    sequences (exec-time spikes, sensor dropouts, processor failures, …)
+    attached to an executor by :class:`~repro.faults.harness.InjectionHarness`,
+    plus twin-run recovery metrics (:func:`~repro.faults.resilience.run_resilience`).
 
 Quickstart
 ----------
@@ -49,6 +54,7 @@ from .experiments.runner import (
     compare_schedulers,
     run_scenario,
 )
+from .faults import FaultSpec, InjectionHarness, ResilienceReport, run_resilience
 from .fleet import CampaignSpec, ResultStore, render_store, run_campaign
 from .rt import RTExecutor, SimConfig, TaskGraph, TaskSpec
 from .schedulers import SCHEDULERS, Scheduler, make_scheduler
@@ -77,6 +83,10 @@ __all__ = [
     "RunResult",
     "compare_schedulers",
     "run_scenario",
+    "FaultSpec",
+    "InjectionHarness",
+    "ResilienceReport",
+    "run_resilience",
     "CampaignSpec",
     "ResultStore",
     "render_store",

@@ -11,6 +11,10 @@ Modes:
   scenarios × schedulers × seeds grid, shard it across ``--jobs N`` worker
   processes, stream summaries into a resumable JSONL store, and aggregate
   the store into comparison tables;
+* ``hcperf faults run|list`` — deterministic fault injection: run a
+  scenario with a fault spec (JSON file or named suite entry) and print
+  the resilience report (time-to-recover, peak miss ratio,
+  tracking-error degradation; see docs/faults.md);
 * ``hcperf lint [--rule ID] [--format text|json]`` — hclint, the
   AST-based invariant checker (determinism, scheduler contracts,
   hygiene; see docs/static_analysis.md);
@@ -107,6 +111,10 @@ def _list_experiments() -> str:
         "[--store PATH]"
     )
     lines.append(
+        "Fault injection:  hcperf faults {run,list} "
+        "[SCENARIO SCHEDULER --spec FILE|NAME --seed N --json]"
+    )
+    lines.append(
         "Static analysis:  hcperf lint [PATH ...] [--rule ID] "
         "[--format text|json] [--list-rules]"
     )
@@ -159,6 +167,133 @@ def _run_scenario_command(argv: List[str]) -> int:
 
         print()
         print(render_chain_budget(chain_budget(graph, tracer)))
+    return 0
+
+
+#: Scenario-name conveniences accepted by ``hcperf faults`` on top of the
+#: registry keys (the paper text names the fig13 setup "car following").
+SCENARIO_ALIASES = {"car_following": "fig13"}
+
+
+def build_faults_parser() -> argparse.ArgumentParser:
+    from .faults import list_specs
+    from .schedulers import SCHEDULERS
+    from .workloads import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="hcperf faults",
+        description=(
+            "Deterministic fault injection: run a scenario with a fault "
+            "spec and report resilience metrics (see docs/faults.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one scenario+scheduler under a fault spec")
+    run.add_argument(
+        "scenario",
+        choices=sorted(SCENARIOS) + sorted(SCENARIO_ALIASES),
+        help="scenario registry key (or alias)",
+    )
+    run.add_argument(
+        "scheduler",
+        type=str,
+        help=f"scheduling policy ({','.join(sorted(SCHEDULERS))}; case-insensitive)",
+    )
+    run.add_argument(
+        "--spec",
+        required=True,
+        help=(
+            "fault spec: a JSON file path or a named suite entry "
+            f"({','.join(list_specs())})"
+        ),
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--horizon", type=float, default=None, help="override the simulated horizon (s)"
+    )
+    run.add_argument(
+        "--json", action="store_true", help="emit the resilience report as JSON"
+    )
+
+    sub.add_parser("list", help="list named fault specs and the model catalog")
+    return parser
+
+
+def _resolve_scheduler_name(name: str) -> str:
+    from .schedulers import SCHEDULERS
+
+    by_lower = {k.lower(): k for k in SCHEDULERS}
+    try:
+        return by_lower[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; available: {sorted(SCHEDULERS)}"
+        ) from None
+
+
+def _faults_command(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from .faults import FAULT_KINDS, NAMED_SPECS, get_spec, load_fault_spec
+    from .faults.resilience import run_resilience
+    from .workloads import SCENARIOS
+
+    args = build_faults_parser().parse_args(argv)
+    if args.command == "list":
+        print("Named fault specs (hcperf faults run ... --spec NAME):")
+        for name in sorted(NAMED_SPECS):
+            spec = get_spec(name)
+            kinds = ",".join(sorted({f.kind for f in spec.faults}))
+            print(f"  {name:18s} {len(spec.faults)} fault(s): {kinds}")
+        print()
+        print("Fault model catalog (JSON spec 'kind' values):")
+        for kind in sorted(FAULT_KINDS):
+            doc = (FAULT_KINDS[kind].__doc__ or "").strip().splitlines()[0]
+            print(f"  {kind:18s} {doc}")
+        return 0
+
+    try:
+        scheduler = _resolve_scheduler_name(args.scheduler)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if Path(args.spec).exists():
+        spec = load_fault_spec(args.spec)
+    else:
+        try:
+            spec = get_spec(args.spec)
+        except ValueError as exc:
+            print(f"error: {exc} (and no such file)", file=sys.stderr)
+            return 2
+
+    factory = SCENARIOS[SCENARIO_ALIASES.get(args.scenario, args.scenario)]
+    scenario_factory = (
+        (lambda: factory(horizon=args.horizon)) if args.horizon else factory
+    )
+    report = run_resilience(scenario_factory, scheduler, spec, seed=args.seed)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    print(f"scenario    : {report.scenario}")
+    print(f"scheduler   : {report.scheduler} (seed {report.seed})")
+    print(f"fault spec  : {report.spec_name or '<unnamed>'} [{report.spec_hash}]")
+    if report.fault_onset is None:
+        print("faults      : none (empty spec)")
+    else:
+        clear = "never" if report.fault_clear is None else f"{report.fault_clear:.1f} s"
+        print(f"fault window: {report.fault_onset:.1f} s .. {clear}")
+    ttr = "n/a" if report.time_to_recover is None else f"{report.time_to_recover:.2f} s"
+    print(f"recovered   : {'yes' if report.recovered else 'NO'} (time-to-recover {ttr})")
+    print(f"miss ratio  : baseline {report.baseline_miss_ratio:.4f}, "
+          f"peak {report.peak_miss_ratio:.4f}, "
+          f"steady-state {report.steady_state_miss_ratio:.4f}")
+    print(f"tracking    : rms {report.tracking_error_rms:.4f} "
+          f"(clean twin {report.tracking_error_rms_clean:.4f}, "
+          f"degradation {report.tracking_error_degradation:+.4f})")
+    print(f"overload    : duty cycle {report.overload_duty_cycle:.4f}, "
+          f"rate-adapter resets {report.rate_adapter_resets}")
+    print(f"fault events: {len(report.fault_events)}")
     return 0
 
 
@@ -332,6 +467,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _validate_command(argv[1:])
     if argv and argv[0] == "fleet":
         return _fleet_command(argv[1:])
+    if argv and argv[0] == "faults":
+        return _faults_command(argv[1:])
     if argv and argv[0] == "lint":
         from .devtools.lint.cli import main as lint_main
 

@@ -16,6 +16,7 @@ from . import (
     fig18_ablation,
     multi_seed,
     overhead,
+    resilience,
     sweep,
 )
 from .multi_seed import MultiSeedResult, run_multi_seed
@@ -34,6 +35,7 @@ EXPERIMENTS = {
         fig17_responsiveness,
         fig18_ablation,
         overhead,
+        resilience,
     )
 }
 
@@ -55,4 +57,5 @@ __all__ = [
     "fig17_responsiveness",
     "fig18_ablation",
     "overhead",
+    "resilience",
 ]

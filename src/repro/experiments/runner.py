@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.discomfort import DiscomfortReport, discomfort
 from ..analysis.stats import rms, rms_series
@@ -42,6 +42,10 @@ class RunResult:
     final_rates: Dict[str, float]
     horizon: float
     gamma_history: List[Tuple[float, float]] = field(default_factory=list)
+    #: Fraction of γ-resolutions where Eq. (11) was infeasible (HCPerf only).
+    overload_duty_cycle: float = 0.0
+    #: §V gain resets the Task Rate Adapter performed (HCPerf only).
+    rate_adapter_resets: int = 0
 
     # ------------------------------------------------------------------
     # Derived paper metrics
@@ -120,6 +124,8 @@ class RunResult:
             summary["mean_gamma"] = sum(g for _, g in self.gamma_history) / len(
                 self.gamma_history
             )
+            summary["overload_duty_cycle"] = self.overload_duty_cycle
+            summary["rate_adapter_resets"] = self.rate_adapter_resets
         return summary
 
     def save(self, path) -> None:
@@ -142,6 +148,7 @@ def run_scenario(
     seed: int = 0,
     stop_on_collision: bool = False,
     tracer=None,
+    before_run: Optional[Callable[[RTExecutor], None]] = None,
 ) -> RunResult:
     """Run ``scenario`` under ``scheduler`` and collect all paper metrics.
 
@@ -149,6 +156,8 @@ def run_scenario(
     motivation experiment does; the evaluation experiments run to horizon).
     ``tracer`` (a :class:`~repro.rt.trace.TraceRecorder`) captures every
     dispatch interval for Gantt rendering / invariant checking.
+    ``before_run`` receives the fully wired executor just before the run
+    starts — the seam the fault-injection harness attaches through.
     """
     sched = _resolve(scheduler)
     graph = scenario.graph_factory()
@@ -192,6 +201,8 @@ def run_scenario(
             executor.stop("collision")
 
     executor.add_periodic("plant", scenario.plant_dt, plant_tick)
+    if before_run is not None:
+        before_run(executor)
     metrics = executor.run()
     # Bring the plant trace up to the simulation end (the last plant tick
     # may precede the horizon by up to one dt).
@@ -209,6 +220,15 @@ def run_scenario(
         horizon=executor.now,
         gamma_history=(
             list(sched.coordinator.gamma_history) if is_hcperf else []
+        ),
+        overload_duty_cycle=(
+            sched.coordinator.overload_windows
+            / max(1, len(sched.coordinator.gamma_history))
+            if is_hcperf
+            else 0.0
+        ),
+        rate_adapter_resets=(
+            sched.coordinator.rate_adapter.resets if is_hcperf else 0
         ),
     )
 

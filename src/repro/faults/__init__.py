@@ -1,0 +1,46 @@
+"""Deterministic fault injection & resilience evaluation.
+
+The robustness surface of the reproduction: declarative, seeded
+:class:`FaultSpec`\\ s (execution-time spikes/bursts, sensor dropouts,
+processor failure/recovery, deadline storms, scene-complexity surges), an
+:class:`InjectionHarness` that wires a spec into a live executor through
+existing seams, and :func:`run_resilience`, which measures how a scheduler
+rides out a fault against its fault-free twin run.  See docs/faults.md.
+"""
+
+from .harness import FaultEvent, InjectionHarness
+from .resilience import ResilienceReport, run_resilience
+from .spec import (
+    FAULT_KINDS,
+    ComplexitySurge,
+    DeadlineStorm,
+    ExecTimeBurst,
+    ExecTimeSpike,
+    FaultModel,
+    FaultSpec,
+    ProcessorFailure,
+    SensorDropout,
+    load_fault_spec,
+)
+from .suite import NAMED_SPECS, canonical_suite, get_spec, list_specs
+
+__all__ = [
+    "FaultSpec",
+    "FaultModel",
+    "FAULT_KINDS",
+    "ExecTimeSpike",
+    "ExecTimeBurst",
+    "SensorDropout",
+    "ProcessorFailure",
+    "DeadlineStorm",
+    "ComplexitySurge",
+    "load_fault_spec",
+    "FaultEvent",
+    "InjectionHarness",
+    "ResilienceReport",
+    "run_resilience",
+    "NAMED_SPECS",
+    "get_spec",
+    "list_specs",
+    "canonical_suite",
+]

@@ -1,0 +1,275 @@
+"""Wires a :class:`~repro.faults.spec.FaultSpec` into a live executor.
+
+The harness composes faults out of existing executor seams — it never forks
+the engine:
+
+* execution-time faults wrap each affected task's ``exec_model`` in a
+  time-windowed modulator;
+* sensor dropouts install the executor's ``release_gate``;
+* processor failures schedule :meth:`RTExecutor.set_processor_available`
+  calls through one-shot :meth:`RTExecutor.at` timers;
+* complexity surges wrap the executor's scene-complexity timeline.
+
+All burst scheduling randomness comes from streams derived from the spec's
+own seed (one stream per fault, in list order), so the injected fault
+timeline is a pure function of the spec — independent of the run seed and
+of how many other faults draw.
+
+Attachment with an *empty* spec is a strict no-op: no wrapper, no gate, no
+timer is installed, and the run is byte-identical to a harness-free run
+(the determinism property tests pin this).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..rt.exectime import ExecContext, ExecutionTimeModel
+from ..rt.executor import RTExecutor
+from .spec import (
+    ComplexitySurge,
+    DeadlineStorm,
+    ExecTimeBurst,
+    ExecTimeSpike,
+    FaultSpec,
+    ProcessorFailure,
+    SensorDropout,
+)
+
+__all__ = ["FaultEvent", "InjectionHarness"]
+
+#: Multiplier decorrelating per-fault RNG streams derived from one seed.
+_STREAM_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One entry of the fault event log (simulated time, kind, detail)."""
+
+    t: float
+    kind: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"t": self.t, "kind": self.kind, "detail": self.detail}
+
+
+#: One execution-time modification window: (t_on, t_off, factor, add).
+_Window = Tuple[float, float, float, float]
+
+
+class _ModulatedExecTime(ExecutionTimeModel):
+    """Applies time-windowed ``value*factor + add`` modifiers to a model.
+
+    Modifier windows are fixed at attach time (bursts are pre-scheduled),
+    so the modulation is a pure function of the release instant — the
+    inner model's RNG stream is untouched.
+    """
+
+    def __init__(self, inner: ExecutionTimeModel, windows: List[_Window]) -> None:
+        self.inner = inner
+        self.windows = windows
+
+    def _modulate(self, value: float, now: float) -> float:
+        for t_on, t_off, factor, add in self.windows:
+            if t_on <= now < t_off:
+                value = value * factor + add
+        return value
+
+    def sample(self, ctx: ExecContext, rng: random.Random) -> float:
+        return self._modulate(self.inner.sample(ctx, rng), ctx.now)
+
+    def mean(self, ctx: ExecContext) -> float:
+        return self._modulate(self.inner.mean(ctx), ctx.now)
+
+
+class InjectionHarness:
+    """Attaches one fault spec to one executor and logs what it did.
+
+    Usage::
+
+        harness = InjectionHarness(spec)
+        run_scenario(scenario, scheduler, seed=s, before_run=harness.attach)
+        harness.events  # deterministic fault event log
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.events: List[FaultEvent] = []
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, executor: RTExecutor) -> None:
+        """Install every fault of the spec into ``executor`` (pre-run)."""
+        if self._attached:
+            raise RuntimeError("an InjectionHarness attaches exactly once")
+        self._attached = True
+        if self.spec.is_empty:
+            return
+
+        horizon = executor.config.horizon
+        task_windows: Dict[Optional[str], List[_Window]] = {}
+        dropouts: Dict[str, List[Tuple[float, float]]] = {}
+
+        for idx, fault in enumerate(self.spec.faults):
+            if isinstance(fault, ExecTimeSpike):
+                task_windows.setdefault(fault.task, []).append(
+                    (fault.t_on, fault.t_off, fault.factor, fault.add)
+                )
+                self._mark_window(executor, fault.t_on, fault.t_off, fault.kind,
+                                  f"task={fault.task}")
+            elif isinstance(fault, ExecTimeBurst):
+                for t_on, t_off in self._schedule_bursts(fault, idx, horizon):
+                    task_windows.setdefault(fault.task, []).append(
+                        (t_on, t_off, fault.factor, 0.0)
+                    )
+                    self._mark_window(executor, t_on, t_off, fault.kind,
+                                      f"task={fault.task}")
+            elif isinstance(fault, SensorDropout):
+                dropouts.setdefault(fault.task, []).append((fault.t_on, fault.t_off))
+                self._mark_window(executor, fault.t_on, fault.t_off, fault.kind,
+                                  f"task={fault.task}")
+            elif isinstance(fault, ProcessorFailure):
+                self._wire_processor_failure(executor, fault)
+            elif isinstance(fault, DeadlineStorm):
+                task_windows.setdefault(None, []).append(
+                    (fault.t_on, fault.t_off, fault.factor, 0.0)
+                )
+                self._mark_window(executor, fault.t_on, fault.t_off, fault.kind,
+                                  f"factor={fault.factor}")
+            elif isinstance(fault, ComplexitySurge):
+                self._wire_surge(executor, fault)
+            else:  # pragma: no cover - FaultSpec validates membership
+                raise TypeError(f"unhandled fault model {fault!r}")
+
+        self._wire_exec_windows(executor, task_windows)
+        if dropouts:
+            self._wire_dropouts(executor, dropouts)
+
+    # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def events_dict(self) -> List[Dict[str, object]]:
+        """JSON-ready event log (the reproducibility contract surface)."""
+        return [e.to_dict() for e in self.events]
+
+    def _log(self, t: float, kind: str, detail: str) -> None:
+        self.events.append(FaultEvent(t=t, kind=kind, detail=detail))
+
+    def _mark_window(
+        self, executor: RTExecutor, t_on: float, t_off: float, kind: str, detail: str
+    ) -> None:
+        """Log a fault window's onset/clear as the run passes them."""
+        executor.at(t_on, f"fault:{kind}:on", lambda t: self._log(t, kind, f"on {detail}"))
+        if math.isfinite(t_off):
+            executor.at(
+                t_off, f"fault:{kind}:off", lambda t: self._log(t, kind, f"off {detail}")
+            )
+
+    # ------------------------------------------------------------------
+    # Per-fault wiring
+    # ------------------------------------------------------------------
+    def _schedule_bursts(
+        self, fault: ExecTimeBurst, index: int, horizon: float
+    ) -> List[Tuple[float, float]]:
+        """Pre-draw the burst windows of one Poisson burst fault.
+
+        Each fault gets its own RNG stream derived from (spec seed, fault
+        index), so adding or removing another fault never reshuffles the
+        burst times of this one.
+        """
+        rng = random.Random(self.spec.seed * _STREAM_STRIDE + index)
+        t_off = min(fault.t_off, horizon)
+        windows: List[Tuple[float, float]] = []
+        t = fault.t_on
+        while True:
+            t += rng.expovariate(fault.rate)
+            if t >= t_off:
+                break
+            windows.append((t, min(t + fault.duration, t_off)))
+        return windows
+
+    def _wire_exec_windows(
+        self,
+        executor: RTExecutor,
+        task_windows: Dict[Optional[str], List[_Window]],
+    ) -> None:
+        if not task_windows:
+            return
+        storm = task_windows.pop(None, [])
+        targets = set(task_windows)
+        if storm:
+            targets.update(t.name for t in executor.graph)
+        for name in targets:
+            spec = executor.graph.task(name)
+            windows = list(task_windows.get(name, [])) + list(storm)
+            windows.sort()
+            spec.exec_model = _ModulatedExecTime(spec.exec_model, windows)
+
+    def _wire_dropouts(
+        self, executor: RTExecutor, dropouts: Dict[str, List[Tuple[float, float]]]
+    ) -> None:
+        for name in dropouts:
+            spec = executor.graph.task(name)
+            if spec.rate is None:
+                raise ValueError(
+                    f"sensor_dropout targets non-source task {name!r}"
+                )
+        previous = executor.release_gate
+
+        def gate(task_name: str, now: float) -> bool:
+            if previous is not None and not previous(task_name, now):
+                return False
+            for t_on, t_off in dropouts.get(task_name, ()):
+                if t_on <= now < t_off:
+                    self._log(now, "sensor_dropout",
+                              f"suppressed release task={task_name}")
+                    return False
+            return True
+
+        executor.release_gate = gate
+
+    def _wire_processor_failure(
+        self, executor: RTExecutor, fault: ProcessorFailure
+    ) -> None:
+        if fault.processor >= executor.config.n_processors:
+            raise ValueError(
+                f"processor_failure targets processor {fault.processor}, "
+                f"platform has {executor.config.n_processors}"
+            )
+
+        def fail(t: float) -> None:
+            victim = executor.set_processor_available(fault.processor, False)
+            detail = f"processor={fault.processor}"
+            if victim is not None:
+                detail += f" killed={victim.task.name}#{victim.cycle}"
+            self._log(t, fault.kind, f"fail {detail}")
+
+        executor.at(fault.t_fail, f"fault:{fault.kind}:fail", fail)
+        if fault.t_recover is not None:
+
+            def recover(t: float) -> None:
+                executor.set_processor_available(fault.processor, True)
+                self._log(t, fault.kind, f"recover processor={fault.processor}")
+
+            executor.at(fault.t_recover, f"fault:{fault.kind}:recover", recover)
+
+    def _wire_surge(self, executor: RTExecutor, fault: ComplexitySurge) -> None:
+        inner = executor.complexity
+
+        def surged(t: float) -> float:
+            n = inner(t)
+            if fault.t_on <= t < fault.t_off:
+                n = n * fault.scale + fault.add
+            return n
+
+        executor.complexity = surged
+        self._mark_window(
+            executor, fault.t_on, fault.t_off, fault.kind,
+            f"scale={fault.scale} add={fault.add}",
+        )

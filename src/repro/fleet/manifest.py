@@ -11,7 +11,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from .spec import CampaignSpec
 
@@ -19,19 +19,27 @@ __all__ = ["Job", "job_id", "build_manifest"]
 
 
 def job_id(
-    scenario: str, scheduler: str, seed: int, overrides: Mapping[str, object]
+    scenario: str,
+    scheduler: str,
+    seed: int,
+    overrides: Mapping[str, object],
+    faults: Optional[Mapping[str, object]] = None,
 ) -> str:
-    """Stable 16-hex-digit content hash of one job's defining fields."""
-    payload = json.dumps(
-        {
-            "scenario": scenario,
-            "scheduler": scheduler,
-            "seed": seed,
-            "overrides": {k: overrides[k] for k in sorted(overrides)},
-        },
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    """Stable 16-hex-digit content hash of one job's defining fields.
+
+    ``faults`` enters the payload only when set, so fault-free jobs hash
+    exactly as they did before the faults axis existed — existing stores
+    keep resuming.
+    """
+    body: Dict[str, object] = {
+        "scenario": scenario,
+        "scheduler": scheduler,
+        "seed": seed,
+        "overrides": {k: overrides[k] for k in sorted(overrides)},
+    }
+    if faults is not None:
+        body["faults"] = faults
+    payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
@@ -43,55 +51,86 @@ class Job:
     scheduler: str
     seed: int
     overrides: Dict[str, object] = field(default_factory=dict)
+    #: Resolved fault-spec dict (never a suite name); ``None`` = fault-free.
+    faults: Optional[Dict[str, object]] = None
 
     @property
     def id(self) -> str:
-        return job_id(self.scenario, self.scheduler, self.seed, self.overrides)
+        return job_id(
+            self.scenario, self.scheduler, self.seed, self.overrides, self.faults
+        )
 
     def describe(self) -> str:
         ov = ""
         if self.overrides:
             ov = " " + ",".join(f"{k}={v}" for k, v in sorted(self.overrides.items()))
+        if self.faults is not None:
+            ov += f" faults={self.faults.get('name') or 'inline'}"
         return f"{self.scenario}/{self.scheduler} seed={self.seed}{ov}"
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "scenario": self.scenario,
             "scheduler": self.scheduler,
             "seed": self.seed,
             "overrides": dict(self.overrides),
         }
+        if self.faults is not None:
+            out["faults"] = dict(self.faults)
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "Job":
+        faults = data.get("faults")
         return cls(
             scenario=str(data["scenario"]),
             scheduler=str(data["scheduler"]),
             seed=int(data["seed"]),
             overrides=dict(data.get("overrides", {})),
+            faults=dict(faults) if faults is not None else None,  # type: ignore[arg-type]
         )
+
+
+def _resolve_faults(entry: object) -> Optional[Dict[str, object]]:
+    """Normalize one spec faults entry to a plain fault-spec dict.
+
+    Named suite entries resolve at expansion time, so a job is
+    self-contained: its hash covers the actual fault content, not the name
+    (a retuned suite entry is a different job, as it should be).
+    """
+    if entry is None:
+        return None
+    from ..faults.spec import FaultSpec
+    from ..faults.suite import get_spec
+
+    if isinstance(entry, str):
+        return get_spec(entry).to_dict()
+    return FaultSpec.from_dict(entry).to_dict()  # type: ignore[arg-type]
 
 
 def build_manifest(spec: CampaignSpec) -> List[Job]:
     """Expand a spec into its job list in deterministic grid order.
 
-    Order is scenario-major, then variant, scheduler, seed — the order the
-    serial backend executes and the order every report iterates, so two
-    expansions of the same spec are identical element-for-element.
+    Order is scenario-major, then variant, faults, scheduler, seed — the
+    order the serial backend executes and the order every report iterates,
+    so two expansions of the same spec are identical element-for-element.
     """
     jobs: List[Job] = []
     for scenario in spec.scenarios:
         for variant in spec.variants:
-            for scheduler in spec.schedulers:
-                for seed in spec.seeds:
-                    jobs.append(
-                        Job(
-                            scenario=scenario,
-                            scheduler=scheduler,
-                            seed=seed,
-                            overrides=dict(variant),
+            for faults_entry in spec.faults:
+                faults = _resolve_faults(faults_entry)
+                for scheduler in spec.schedulers:
+                    for seed in spec.seeds:
+                        jobs.append(
+                            Job(
+                                scenario=scenario,
+                                scheduler=scheduler,
+                                seed=seed,
+                                overrides=dict(variant),
+                                faults=faults,
+                            )
                         )
-                    )
     ids = [j.id for j in jobs]
     if len(set(ids)) != len(ids):
         raise ValueError("spec expands to duplicate jobs (repeated grid cell)")

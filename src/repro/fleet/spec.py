@@ -57,6 +57,13 @@ class CampaignSpec:
         Config-override axis — one mapping per variant (see
         :data:`OVERRIDE_KEYS`).  ``[{}]`` (the default) means a single
         unmodified variant.
+    faults:
+        Fault-injection axis — one entry per fault condition.  ``None``
+        means fault-free; a string names a suite entry
+        (:data:`repro.faults.suite.NAMED_SPECS`); a mapping is an inline
+        :class:`~repro.faults.spec.FaultSpec` dict.  ``[None]`` (the
+        default) keeps the campaign fault-free and the job ids identical
+        to pre-faults stores.
     metric:
         Default summary key the aggregation/report layer ranks schemes by
         (``None`` → auto-pick from the stored summaries).
@@ -67,6 +74,9 @@ class CampaignSpec:
     schedulers: Sequence[str] = ("HPF", "EDF", "EDF-VD", "Apollo", "HCPerf")
     seeds: Sequence[int] = (0,)
     variants: Sequence[Mapping[str, object]] = field(default_factory=lambda: [{}])
+    faults: Sequence[Optional[Union[str, Mapping[str, object]]]] = field(
+        default_factory=lambda: [None]
+    )
     metric: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -76,6 +86,13 @@ class CampaignSpec:
         self.variants = [
             _check_overrides(v, f"variant #{i}") for i, v in enumerate(self.variants)
         ]
+        self.faults = list(self.faults)
+        for i, f in enumerate(self.faults):
+            if f is not None and not isinstance(f, (str, Mapping)):
+                raise ValueError(
+                    f"faults #{i}: expected None, a named spec, or a "
+                    f"fault-spec mapping, got {type(f).__name__}"
+                )
         if not self.scenarios:
             raise ValueError("spec needs at least one scenario")
         if not self.schedulers:
@@ -84,12 +101,16 @@ class CampaignSpec:
             raise ValueError("spec needs at least one seed")
         if not self.variants:
             raise ValueError("spec needs at least one variant ([{}] for none)")
+        if not self.faults:
+            raise ValueError("spec needs at least one faults entry ([null] for none)")
 
     # ------------------------------------------------------------------
     # Registry validation (deferred import: specs are data-only otherwise)
     # ------------------------------------------------------------------
     def validate(self) -> "CampaignSpec":
-        """Check every scenario/scheduler name against the registries."""
+        """Check scenario/scheduler/fault names against the registries."""
+        from ..faults.spec import FaultSpec
+        from ..faults.suite import NAMED_SPECS
         from ..schedulers import SCHEDULERS
         from ..workloads import SCENARIOS
 
@@ -103,6 +124,14 @@ class CampaignSpec:
             raise ValueError(
                 f"unknown schedulers {bad}; available: {sorted(SCHEDULERS)}"
             )
+        for i, f in enumerate(self.faults):
+            if isinstance(f, str) and f not in NAMED_SPECS:
+                raise ValueError(
+                    f"faults #{i}: unknown named spec {f!r}; "
+                    f"available: {sorted(NAMED_SPECS)}"
+                )
+            if isinstance(f, Mapping):
+                FaultSpec.from_dict(f)  # raises on malformed inline specs
         return self
 
     @property
@@ -110,6 +139,7 @@ class CampaignSpec:
         return (
             len(self.scenarios)
             * len(self.variants)
+            * len(self.faults)
             * len(self.schedulers)
             * len(self.seeds)
         )
@@ -124,6 +154,7 @@ class CampaignSpec:
             "schedulers": list(self.schedulers),
             "seeds": list(self.seeds),
             "variants": [dict(v) for v in self.variants],
+            "faults": [dict(f) if isinstance(f, Mapping) else f for f in self.faults],
             "metric": self.metric,
         }
 

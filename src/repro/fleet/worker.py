@@ -68,12 +68,27 @@ def execute_job(job: Job) -> Dict[str, object]:
 
     The record is the job's identity (id + defining fields) plus the
     :meth:`RunResult.to_dict` summary — everything the aggregation layer
-    needs, nothing that fails to serialize.
+    needs, nothing that fails to serialize.  A job carrying a fault spec
+    runs with an injection harness attached; its summary gains the fault
+    event log so stored fault runs stay auditable.
     """
     scenario = build_scenario(job.scenario, job.overrides)
-    result = run_scenario(scenario, job.scheduler, seed=job.seed)
+    harness = None
+    before_run = None
+    if job.faults is not None:
+        from ..faults.harness import InjectionHarness
+        from ..faults.spec import FaultSpec
+
+        harness = InjectionHarness(FaultSpec.from_dict(job.faults))
+        before_run = harness.attach
+    result = run_scenario(
+        scenario, job.scheduler, seed=job.seed, before_run=before_run
+    )
+    summary = result.to_dict()
+    if harness is not None:
+        summary["fault_events"] = harness.events_dict()
     return {
         "job_id": job.id,
         "job": job.to_dict(),
-        "summary": result.to_dict(),
+        "summary": summary,
     }

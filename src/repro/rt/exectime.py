@@ -27,7 +27,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 __all__ = [
     "ExecContext",
@@ -254,24 +254,37 @@ class ExecTimeObserver:
     relative drift since the last :meth:`mark_stable` call, which the Task
     Rate Adapter uses to detect execution-time regime changes and reset its
     control gain (§VI step 2).
+
+    Drift is tracked on a *separate, slower* EWMA (``drift_alpha``): the fast
+    estimate feeding Eq. 11 must react per job, but regime-change detection
+    that reacts per job mistakes ordinary sampling noise of wide
+    execution-time distributions for a regime change and resets the adapter
+    gain nearly every window.  ``drift_alpha=None`` reuses ``alpha``
+    (the fast and drift series coincide, the pre-fault-subsystem behavior).
     """
 
-    def __init__(self, alpha: float = 1.0) -> None:
+    def __init__(self, alpha: float = 1.0, drift_alpha: Optional[float] = None) -> None:
         if not (0.0 < alpha <= 1.0):
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if drift_alpha is not None and not (0.0 < drift_alpha <= 1.0):
+            raise ValueError(f"drift_alpha must be in (0, 1], got {drift_alpha}")
         self.alpha = alpha
+        self.drift_alpha = alpha if drift_alpha is None else drift_alpha
         self._est: Dict[str, float] = {}
+        self._slow: Dict[str, float] = {}
         self._stable_ref: Dict[str, float] = {}
+
+    @staticmethod
+    def _ewma(store: Dict[str, float], key: str, value: float, alpha: float) -> None:
+        prev = store.get(key)
+        store[key] = value if prev is None else alpha * value + (1.0 - alpha) * prev
 
     def observe(self, task_name: str, value: float) -> None:
         """Record one completed run of ``task_name`` taking ``value`` seconds."""
         if value < 0:
             raise ValueError("observed execution time must be >= 0")
-        prev = self._est.get(task_name)
-        if prev is None:
-            self._est[task_name] = value
-        else:
-            self._est[task_name] = self.alpha * value + (1.0 - self.alpha) * prev
+        self._ewma(self._est, task_name, value, self.alpha)
+        self._ewma(self._slow, task_name, value, self.drift_alpha)
 
     def estimate(self, task_name: str, default: float = 0.0) -> float:
         """Current ``c_i`` estimate, or ``default`` if never observed."""
@@ -282,18 +295,18 @@ class ExecTimeObserver:
         return dict(self._est)
 
     def mark_stable(self) -> None:
-        """Remember the current estimates as the stable reference point."""
-        self._stable_ref = dict(self._est)
+        """Remember the current drift estimates as the stable reference point."""
+        self._stable_ref = dict(self._slow)
 
     def max_drift(self) -> float:
-        """Largest relative change of any estimate since :meth:`mark_stable`.
+        """Largest relative change of any drift estimate since :meth:`mark_stable`.
 
         Returns 0.0 when nothing has been observed.  Tasks first observed
         after the stable mark count as full (1.0) drift, since an entirely
         new execution-time regime has appeared.
         """
         worst = 0.0
-        for name, est in self._est.items():
+        for name, est in self._slow.items():
             ref = self._stable_ref.get(name)
             if ref is None:
                 if self._stable_ref:
@@ -309,4 +322,5 @@ class ExecTimeObserver:
     def reset(self) -> None:
         """Forget all observations."""
         self._est.clear()
+        self._slow.clear()
         self._stable_ref.clear()

@@ -56,6 +56,9 @@ class ProcessorState:
     job: Optional[Job] = None
     busy_until: float = 0.0
     busy_time_total: float = 0.0
+    #: Hot-(un)plug flag: a failed processor accepts no dispatches until it
+    #: recovers (see :meth:`RTExecutor.set_processor_available`).
+    available: bool = True
 
     @property
     def idle(self) -> bool:
@@ -91,6 +94,12 @@ class SimConfig:
         task (counted as a miss).  Models Cyber RT's bounded message
         channels — a stale sensor frame is superseded by a fresh one — and
         keeps the backlog finite when a baseline policy is overloaded.
+    drift_alpha:
+        EWMA weight of the observer's *drift* estimate — the slow series
+        regime-change detection compares against its stable reference.  Much
+        smaller than ``observer_alpha`` so that per-job sampling noise is
+        averaged out and only genuine execution-time regime shifts (the §V
+        "unusual change") cross the reset threshold.
     """
 
     n_processors: int = 4
@@ -99,6 +108,7 @@ class SimConfig:
     seed: int = 0
     observer_alpha: float = 0.5
     max_pending_per_task: int = 4
+    drift_alpha: float = 0.1
 
     def __post_init__(self) -> None:
         if self.n_processors < 1:
@@ -109,6 +119,8 @@ class SimConfig:
             raise ValueError("coordination_period must be positive")
         if self.max_pending_per_task < 1:
             raise ValueError("max_pending_per_task must be >= 1")
+        if not (0.0 < self.drift_alpha <= 1.0):
+            raise ValueError("drift_alpha must be in (0, 1]")
 
 
 @dataclass
@@ -157,7 +169,9 @@ class RTExecutor:
         self.rng = random.Random(self.config.seed)
         self.ready = ReadyQueue()
         self.metrics = MetricsRecorder()
-        self.observer = ExecTimeObserver(alpha=self.config.observer_alpha)
+        self.observer = ExecTimeObserver(
+            alpha=self.config.observer_alpha, drift_alpha=self.config.drift_alpha
+        )
         self.processors = [ProcessorState(i) for i in range(self.config.n_processors)]
 
         self._events = EventHeap()
@@ -168,6 +182,8 @@ class RTExecutor:
             t.name: {} for t in graph
         }
         self._periodic: List[_PeriodicHook] = []
+        self._oneshots: List[Tuple[float, _PeriodicHook]] = []
+        self._started = False
         self._stopped = False
         self._stop_reason: Optional[str] = None
         self._last_busy_integral = 0.0
@@ -175,6 +191,11 @@ class RTExecutor:
         #: Optional execution tracer (see :mod:`repro.rt.trace`); assign a
         #: TraceRecorder before run() to capture every dispatch interval.
         self.tracer = None
+        #: Optional release filter: ``gate(task_name, now) -> bool``.  A
+        #: ``False`` verdict suppresses that source release (the sensor
+        #: produced no frame) while the release clock keeps ticking — the
+        #: seam fault injection uses for sensor dropouts.
+        self.release_gate: Optional[Callable[[str, float], bool]] = None
 
         for src in graph.sources():
             assert src.rate is not None  # guaranteed by graph.validate()
@@ -228,6 +249,66 @@ class RTExecutor:
             raise ValueError("period must be positive")
         self._periodic.append(_PeriodicHook(name, period, fn))
 
+    def at(self, time: float, name: str, fn: Callable[[float], None]) -> None:
+        """Schedule a one-shot callback at an absolute simulated time.
+
+        Callbacks registered before :meth:`run` are queued at start; during a
+        run they enter the event heap directly (``time`` must not precede the
+        current instant).  Fault injection drives processor failure/recovery
+        and other point events through this seam.
+        """
+        if time < 0:
+            raise ValueError("time must be >= 0")
+        hook = _PeriodicHook(name, 0.0, fn)
+        if self._started:
+            if time < self.now:
+                raise ValueError(f"one-shot {name!r} at {time} is in the past")
+            self._events.push(time, Event(EventKind.PERIODIC, (name, hook)))
+        else:
+            self._oneshots.append((time, hook))
+
+    def set_processor_available(self, index: int, available: bool) -> Optional[Job]:
+        """Hot-unplug (or re-add) one processor.
+
+        Failing a busy processor kills its in-flight job: the job counts as a
+        dropped miss, delivers nothing downstream, and is returned so callers
+        (the fault-injection harness) can log it.  Re-adding flips the flag
+        back; queued work reaches the processor at the next dispatch round.
+        """
+        proc = self.processors[index]
+        if proc.available == available:
+            return None
+        proc.available = available
+        if available or proc.job is None:
+            return None
+        victim = proc.job
+        # The stale JOB_FINISH event in the heap is ignored by the
+        # `proc.job is job` guard in _handle_finish.
+        proc.job = None
+        proc.busy_time_total += max(0.0, self.now - (victim.start_time or self.now))
+        proc.busy_until = self.now
+        victim.state = JobState.MISSED
+        victim.finish_time = self.now
+        if self.tracer is not None:
+            from .trace import TraceEntry
+
+            self.tracer.record(
+                TraceEntry(
+                    task=victim.task.name,
+                    cycle=victim.cycle,
+                    processor=index,
+                    start=victim.start_time if victim.start_time is not None else self.now,
+                    finish=self.now,
+                    release=victim.release_time,
+                    deadline=victim.absolute_deadline,
+                    completed=False,
+                    killed=True,
+                )
+            )
+        self.metrics.on_miss(victim, dropped=True)
+        self.scheduler.on_job_miss(victim, self.now, self.view)
+        return victim
+
     def stop(self, reason: str = "") -> None:
         """Abort the run at the current event (e.g. on a collision)."""
         self._stopped = True
@@ -243,6 +324,7 @@ class RTExecutor:
     def run(self) -> MetricsRecorder:
         """Execute the simulation until the horizon and return the metrics."""
         self.scheduler.prepare(self.graph, self.config.n_processors)
+        self._started = True
         for src in self.graph.sources():
             self._events.push(0.0, Event(EventKind.SOURCE_RELEASE, src.name))
         self._events.push(
@@ -251,6 +333,8 @@ class RTExecutor:
         )
         for hook in self._periodic:
             self._events.push(hook.period, Event(EventKind.PERIODIC, (hook.name, hook)))
+        for time, hook in self._oneshots:
+            self._events.push(time, Event(EventKind.PERIODIC, (hook.name, hook)))
 
         horizon = self.config.horizon
         while self._events and not self._stopped:
@@ -273,7 +357,8 @@ class RTExecutor:
     # ------------------------------------------------------------------
     def _handle_source_release(self, task_name: str) -> None:
         spec = self.graph.task(task_name)
-        self._release_job(spec, provenance=None)
+        if self.release_gate is None or self.release_gate(task_name, self.now):
+            self._release_job(spec, provenance=None)
         period = 1.0 / self._rates[task_name]
         next_time = self.now + period
         if next_time <= self.config.horizon:
@@ -309,7 +394,10 @@ class RTExecutor:
     def _handle_finish(self, payload: Tuple[int, Job]) -> None:
         proc_index, job = payload
         proc = self.processors[proc_index]
-        assert proc.job is job, "finish event for a job the processor is not running"
+        if proc.job is not job:
+            # Stale finish for a job killed by a processor failure: already
+            # accounted as a dropped miss when the processor was unplugged.
+            return
         proc.job = None
         proc.busy_time_total += job.exec_time
         job.finish_time = self.now
@@ -376,6 +464,8 @@ class RTExecutor:
             return
         assert hook is not None
         hook.fn(self.now)
+        if hook.period <= 0:
+            return  # one-shot (see at())
         next_time = self.now + hook.period
         if next_time <= self.config.horizon:
             self._events.push(next_time, Event(EventKind.PERIODIC, (name, hook)))
@@ -411,7 +501,7 @@ class RTExecutor:
                 job.finish_time = self.now
                 self.metrics.on_miss(job, dropped=True)
                 self.scheduler.on_job_miss(job, self.now, self.view)
-        free = [p for p in self.processors if p.idle]
+        free = [p for p in self.processors if p.idle and p.available]
         if not free or not self.ready:
             return
         self.scheduler.on_dispatch_round(self.now, self.view)

@@ -27,6 +27,9 @@ class TraceEntry:
     release: float
     deadline: float
     completed: bool  # finished within its deadline
+    #: The job was killed mid-run by a processor failure (fault injection):
+    #: the interval ends at the failure instant and delivered nothing.
+    killed: bool = False
 
     @property
     def duration(self) -> float:
@@ -108,8 +111,8 @@ def render_gantt(
 
     Each column is ``(t_end − t_start)/width`` seconds; a cell shows the
     symbol of the task occupying (most of) it — a distinct letter per task,
-    upper-case when the job met its deadline, lower-case when it missed;
-    ``.`` is idle.
+    upper-case when the job met its deadline, lower-case when it missed,
+    ``#`` when the job was killed by a processor failure; ``.`` is idle.
     """
     if t_end <= t_start:
         raise ValueError("t_end must exceed t_start")
@@ -121,7 +124,7 @@ def render_gantt(
     dt = (t_end - t_start) / width
     lines = [
         f"gantt [{t_start:.3f}s .. {t_end:.3f}s] "
-        f"({dt * 1000:.2f} ms/col; UPPER=met deadline, lower=missed)"
+        f"({dt * 1000:.2f} ms/col; UPPER=met deadline, lower=missed, #=killed)"
     ]
     for proc, entries in sorted(recorder.by_processor().items()):
         cells = ["."] * width
@@ -130,7 +133,12 @@ def render_gantt(
                 continue
             lo = max(0, int((e.start - t_start) / dt))
             hi = min(width, max(lo + 1, int((e.finish - t_start) / dt)))
-            mark = symbol[e.task] if e.completed else symbol[e.task].lower()
+            if e.killed:
+                mark = "#"
+            elif e.completed:
+                mark = symbol[e.task]
+            else:
+                mark = symbol[e.task].lower()
             for i in range(lo, hi):
                 cells[i] = mark
         lines.append(f"p{proc:<{label_width - 1}d}|{''.join(cells)}|")

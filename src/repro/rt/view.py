@@ -48,7 +48,14 @@ class SystemView:
 
     @property
     def n_processors(self) -> int:
-        return len(self.processors)
+        """Processors currently accepting work.
+
+        Failed (hot-unplugged) processors do not count: Eq. (11)'s
+        ``n_p`` must reflect the platform's *live* capacity, or the
+        schedulability test would keep promising parallelism that no longer
+        exists during a processor-failure fault.
+        """
+        return sum(1 for p in self.processors if p.available)
 
     def busy_remaining(self, now: float) -> float:
         """Sum of remaining processing times over all processors (ΣT_p)."""

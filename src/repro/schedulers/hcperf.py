@@ -36,6 +36,12 @@ class HCPerfScheduler(Scheduler):
     #: and also waste system computing resources").
     drop_expired = True
 
+    #: Coordination windows during which the drift reference keeps being
+    #: re-baselined: the observer's slow drift EWMA is still converging from
+    #: its first samples, and that cold-start transient must not read as an
+    #: execution-time regime change (a spurious §V gain reset).
+    drift_warmup_windows = 4
+
     def __init__(self, config: Optional[HCPerfConfig] = None) -> None:
         self.coordinator = HierarchicalCoordinator(config)
         self._gamma = 0.0
@@ -82,9 +88,10 @@ class HCPerfScheduler(Scheduler):
 
     def on_window(self, now: float, view: SystemView, window: WindowSample) -> None:
         self._windows_seen += 1
-        if self._windows_seen == 1:
-            # First window: baseline the execution-time regime so drift is
-            # measured against the initial profile.
+        if self._windows_seen <= self.drift_warmup_windows:
+            # Baseline the execution-time regime (and keep re-baselining
+            # through the warm-up) so drift is measured against a converged
+            # initial profile.
             view.observer.mark_stable()
         self.coordinator.sample_controller(now)
         self._desired_rates = self.coordinator.adapt_rates(

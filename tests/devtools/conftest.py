@@ -65,6 +65,14 @@ VIOLATION_FIXTURES: Dict[str, Tuple[str, str, int]] = {
         "HC006",
         2,
     ),
+    "repro/faults/bad_model.py": (
+        "import random\n"
+        "\n"
+        "def spin_up():\n"
+        "    return random.Random()\n",
+        "HC007",
+        4,
+    ),
 }
 
 

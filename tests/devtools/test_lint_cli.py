@@ -16,7 +16,7 @@ from repro.devtools.lint.cli import main as lint_main
 GOLDEN_JSON = """\
 {
   "counts": {
-    "error": 5,
+    "error": 6,
     "warning": 1
   },
   "diagnostics": [
@@ -26,6 +26,14 @@ GOLDEN_JSON = """\
       "message": "mutable default argument in collect(); the default is evaluated once and shared across calls \\u2014 use None and materialize inside",
       "path": "repro/core/bad_defaults.py",
       "rule": "HC004",
+      "severity": "error"
+    },
+    {
+      "col": 12,
+      "line": 4,
+      "message": "unseeded random.Random(); pass the run seed explicitly",
+      "path": "repro/faults/bad_model.py",
+      "rule": "HC007",
       "severity": "error"
     },
     {
@@ -83,7 +91,7 @@ def test_json_golden_output(violation_tree, capsys):
     # and it really is valid, versioned JSON
     payload = json.loads(GOLDEN_JSON)
     assert payload["version"] == 1
-    assert payload["counts"] == {"error": 5, "warning": 1}
+    assert payload["counts"] == {"error": 6, "warning": 1}
 
 
 def test_clean_tree_exits_zero(tmp_path, capsys):
@@ -127,7 +135,7 @@ def test_rule_filter_and_severity_filter(violation_tree, capsys):
 def test_list_rules_names_every_rule(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("HC001", "HC002", "HC003", "HC004", "HC005", "HC006"):
+    for rule_id in ("HC001", "HC002", "HC003", "HC004", "HC005", "HC006", "HC007"):
         assert rule_id in out
 
 

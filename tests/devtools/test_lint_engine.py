@@ -19,7 +19,15 @@ from .conftest import VIOLATION_FIXTURES, write_tree
 
 
 def test_shipped_rule_ids():
-    assert rule_ids() == ["HC001", "HC002", "HC003", "HC004", "HC005", "HC006"]
+    assert rule_ids() == [
+        "HC001",
+        "HC002",
+        "HC003",
+        "HC004",
+        "HC005",
+        "HC006",
+        "HC007",
+    ]
 
 
 def test_line_suppression_silences_only_that_rule(tmp_path):

@@ -156,3 +156,46 @@ def test_hc006_is_a_warning_and_tolerates_sanctioned_helpers(tmp_path):
     assert [(d.rule, d.line, d.severity) for d in diags] == [
         ("HC006", 7, Severity.WARNING)
     ]
+
+
+def test_hc007_covers_both_leak_kinds_in_faults_only(tmp_path):
+    # Inside repro/faults the wall-clock and global-RNG findings surface as
+    # HC007 (the replay contract), never as HC001/HC002; the same file
+    # outside repro/faults keeps the original ids.
+    source = (
+        "import random\n"
+        "import time\n"
+        "\n"
+        "def draw():\n"
+        "    return random.random() + time.time()\n"
+    )
+    write_tree(
+        tmp_path,
+        {
+            "repro/faults/bad_model.py": source,
+            "repro/rt/bad_model.py": source,
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    by_path = {}
+    for d in diags:
+        by_path.setdefault(d.path, []).append(d.rule)
+    assert sorted(by_path["repro/faults/bad_model.py"]) == ["HC007", "HC007"]
+    assert sorted(by_path["repro/rt/bad_model.py"]) == ["HC001", "HC002"]
+
+
+def test_hc007_accepts_spec_seeded_streams(tmp_path):
+    # The sanctioned idiom — per-fault streams derived from the spec seed —
+    # must lint clean.
+    write_tree(
+        tmp_path,
+        {
+            "repro/faults/good_model.py": (
+                "import random\n"
+                "\n"
+                "def stream(spec_seed, index):\n"
+                "    return random.Random(spec_seed * 1_000_003 + index)\n"
+            )
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []

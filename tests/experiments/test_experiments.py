@@ -21,8 +21,8 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_nine_registered(self):
-        assert len(EXPERIMENTS) == 9
+    def test_all_ten_registered(self):
+        assert len(EXPERIMENTS) == 10
         for module in EXPERIMENTS.values():
             assert hasattr(module, "run") and hasattr(module, "render")
 
@@ -220,3 +220,23 @@ class TestFig13Charts:
         out = fig13_car_following.render_charts(result)
         assert "Fig. 13(a)" in out and "Fig. 13(b)" in out
         assert "lead" in out and "HCPerf" in out
+
+
+class TestResilience:
+    def test_smoke_and_claims(self):
+        from repro.experiments import resilience
+
+        result = resilience.run(seed=0, horizon=40.0)
+        assert set(result.reports) == {"EDF", "HCPerf"}
+        out = resilience.render(result)
+        assert "Recovery claims" in out
+        assert "Recovery curves" in out
+
+    def test_full_horizon_claims_hold(self):
+        # The acceptance claims of the resilience story, at the canonical
+        # suite's intended 90 s horizon.
+        from repro.experiments import resilience
+
+        result = resilience.run(seed=0)
+        assert result.hcperf_no_slower()
+        assert result.hcperf_degrades_less()

@@ -18,10 +18,10 @@ def traced_run(horizon=1.0, capacity=None, **graph_kwargs):
 
 
 def entry(task="t", proc=0, start=0.0, finish=0.01, release=0.0,
-          deadline=0.1, cycle=0, completed=True):
+          deadline=0.1, cycle=0, completed=True, killed=False):
     return TraceEntry(
         task=task, cycle=cycle, processor=proc, start=start, finish=finish,
-        release=release, deadline=deadline, completed=completed,
+        release=release, deadline=deadline, completed=completed, killed=killed,
     )
 
 
@@ -99,6 +99,19 @@ class TestGantt:
         r.record(entry(task="Miss", completed=False, start=0.0, finish=0.5))
         out = render_gantt(r, 0.0, 1.0, width=10)
         assert "a" in out.splitlines()[1]
+
+    def test_killed_jobs_render_distinctly(self):
+        # A job killed by a processor failure renders as '#', not as a
+        # plain miss, and the header legend names the mark.
+        r = TraceRecorder()
+        r.record(entry(task="Kill", completed=False, killed=True,
+                       start=0.0, finish=0.5))
+        r.record(entry(task="Miss", completed=False, start=0.5, finish=0.9,
+                       proc=1))
+        out = render_gantt(r, 0.0, 1.0, width=10)
+        assert "#=killed" in out.splitlines()[0]
+        assert "#" in out.splitlines()[1]
+        assert "#" not in out.splitlines()[2]
 
     def test_validation(self):
         r = TraceRecorder()
