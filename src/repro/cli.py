@@ -15,6 +15,10 @@ Modes:
   scenario with a fault spec (JSON file or named suite entry) and print
   the resilience report (time-to-recover, peak miss ratio,
   tracking-error degradation; see docs/faults.md);
+* ``hcperf trace run|export|check`` — structured run tracing: record a
+  run's full event stream, export it as a Chrome trace / JSONL / text
+  summary, and check the trace-invariant catalog
+  (see docs/observability.md);
 * ``hcperf lint [--rule ID] [--format text|json]`` — hclint, the
   AST-based invariant checker (determinism, scheduler contracts,
   hygiene; see docs/static_analysis.md);
@@ -115,6 +119,10 @@ def _list_experiments() -> str:
         "[SCENARIO SCHEDULER --spec FILE|NAME --seed N --json]"
     )
     lines.append(
+        "Run tracing:      hcperf trace {run,export,check} "
+        "[--scenario S --out FILE | RECORDING --format chrome|jsonl|summary]"
+    )
+    lines.append(
         "Static analysis:  hcperf lint [PATH ...] [--rule ID] "
         "[--format text|json] [--list-rules]"
     )
@@ -132,13 +140,13 @@ def _run_scenario_command(argv: List[str]) -> int:
     args = build_run_parser().parse_args(argv)
     factory = SCENARIOS[args.scenario]
     scenario = factory(horizon=args.horizon) if args.horizon else factory()
-    tracer = None
+    recorder = None
     if args.gantt or args.chains:
-        from .rt.trace import TraceRecorder
+        from .obs.recorder import Recorder
 
-        tracer = TraceRecorder()
+        recorder = Recorder()
     graph = scenario.graph_factory() if args.chains else None
-    result = run_scenario(scenario, args.scheduler, seed=args.seed, tracer=tracer)
+    result = run_scenario(scenario, args.scheduler, seed=args.seed, recorder=recorder)
     summary = result.to_dict()
     if args.json:
         print(json.dumps(summary, indent=2))
@@ -156,23 +164,177 @@ def _run_scenario_command(argv: List[str]) -> int:
         print("collision  : YES")
     if summary.get("departed"):
         print("lane exit  : YES")
-    if args.gantt and tracer is not None:
+    if args.gantt and recorder is not None:
         from .rt.trace import render_gantt
 
         t_hi = min(1.0, summary["horizon"])
         print()
-        print(render_gantt(tracer, 0.0, t_hi, width=100))
-    if args.chains and tracer is not None and graph is not None:
+        print(render_gantt(recorder, 0.0, t_hi, width=100))
+    if args.chains and recorder is not None and graph is not None:
         from .analysis.chains import chain_budget, render_chain_budget
 
         print()
-        print(render_chain_budget(chain_budget(graph, tracer)))
+        print(render_chain_budget(chain_budget(graph, recorder.interval_view())))
     return 0
 
 
-#: Scenario-name conveniences accepted by ``hcperf faults`` on top of the
-#: registry keys (the paper text names the fig13 setup "car following").
+#: Scenario-name conveniences accepted by ``hcperf faults`` / ``hcperf
+#: trace`` on top of the registry keys (the paper text names the fig13
+#: setup "car following").
 SCENARIO_ALIASES = {"car_following": "fig13"}
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    from .schedulers import SCHEDULERS
+    from .workloads import SCENARIOS
+
+    parser = argparse.ArgumentParser(
+        prog="hcperf trace",
+        description=(
+            "Structured run tracing: record a run's event stream, export "
+            "it (Chrome trace / JSONL / summary) and check its trace "
+            "invariants (see docs/observability.md)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a scenario with the recorder attached")
+    run.add_argument(
+        "--scenario",
+        required=True,
+        choices=sorted(SCENARIOS) + sorted(SCENARIO_ALIASES),
+        help="scenario registry key (or alias)",
+    )
+    run.add_argument(
+        "--scheduler",
+        default="HCPerf",
+        help=f"scheduling policy ({','.join(sorted(SCHEDULERS))}; "
+        "case-insensitive, default HCPerf)",
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--horizon", type=float, default=None, help="override the simulated horizon (s)"
+    )
+    run.add_argument(
+        "--faults", default=None,
+        help="optional fault spec (JSON file path or named suite entry)",
+    )
+    run.add_argument(
+        "--out", required=True, help="recording output path (canonical JSON)"
+    )
+
+    export = sub.add_parser("export", help="convert a recording to another format")
+    export.add_argument("recording", help="recording file (canonical JSON or JSONL)")
+    export.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "summary"),
+        default="chrome",
+        help="output format (default chrome, for chrome://tracing / Perfetto)",
+    )
+    export.add_argument(
+        "--out", default=None, help="output path (default: stdout)"
+    )
+
+    check = sub.add_parser("check", help="run the trace-invariant catalog")
+    check.add_argument("recording", help="recording file (canonical JSON or JSONL)")
+    check.add_argument(
+        "--list", action="store_true", dest="list_invariants",
+        help="list the invariant catalog instead of checking",
+    )
+    return parser
+
+
+def _trace_command(argv: List[str]) -> int:
+    from pathlib import Path
+
+    from .obs.export import (
+        load_recording,
+        save_recording,
+        summary_text,
+        to_chrome_trace,
+        to_jsonl,
+    )
+    from .obs.invariants import INVARIANTS, check_recording
+    from .obs.recorder import Recorder
+
+    args = build_trace_parser().parse_args(argv)
+
+    if args.command == "run":
+        from .experiments.runner import run_scenario
+        from .workloads import SCENARIOS
+
+        try:
+            scheduler = _resolve_scheduler_name(args.scheduler)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        before_run = None
+        if args.faults is not None:
+            from .faults import get_spec, load_fault_spec
+            from .faults.harness import InjectionHarness
+
+            if Path(args.faults).exists():
+                spec = load_fault_spec(args.faults)
+            else:
+                try:
+                    spec = get_spec(args.faults)
+                except ValueError as exc:
+                    print(f"error: {exc} (and no such file)", file=sys.stderr)
+                    return 2
+            before_run = InjectionHarness(spec).attach
+        factory = SCENARIOS[SCENARIO_ALIASES.get(args.scenario, args.scenario)]
+        scenario = factory(horizon=args.horizon) if args.horizon else factory()
+        recorder = Recorder()
+        run_scenario(
+            scenario, scheduler, seed=args.seed, recorder=recorder,
+            before_run=before_run,
+        )
+        save_recording(recorder, args.out)
+        stats = recorder.stats()
+        print(
+            f"recorded {stats['_total']} events "
+            f"({recorder.meta.get('scenario')}/{recorder.meta.get('scheduler')} "
+            f"seed {recorder.meta.get('seed')}) -> {args.out}"
+        )
+        return 0
+
+    try:
+        recorder = load_recording(args.recording)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.command == "export":
+        if args.format == "chrome":
+            text = json.dumps(to_chrome_trace(recorder), indent=1) + "\n"
+        elif args.format == "jsonl":
+            text = to_jsonl(recorder)
+        else:
+            text = summary_text(recorder) + "\n"
+        if args.out:
+            Path(args.out).write_text(text)
+            print(f"wrote {args.format} export -> {args.out}")
+        else:
+            sys.stdout.write(text)
+        return 0
+
+    # check
+    if args.list_invariants:
+        for code in sorted(INVARIANTS):
+            description, _ = INVARIANTS[code]
+            print(f"{code}  {description}")
+        return 0
+    violations = check_recording(recorder)
+    if violations:
+        for violation in violations:
+            print(str(violation))
+        print(f"FAIL: {len(violations)} invariant violation(s)")
+        return 1
+    print(
+        f"OK: {len(recorder.events)} events, "
+        f"{len(INVARIANTS)} invariants clean"
+    )
+    return 0
 
 
 def build_faults_parser() -> argparse.ArgumentParser:
@@ -469,6 +631,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _fleet_command(argv[1:])
     if argv and argv[0] == "faults":
         return _faults_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     if argv and argv[0] == "lint":
         from .devtools.lint.cli import main as lint_main
 

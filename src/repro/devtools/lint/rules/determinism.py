@@ -37,6 +37,7 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro/perception",
     "repro/workloads",
     "repro/core",
+    "repro/obs",
     "repro/fleet/worker.py",
 )
 

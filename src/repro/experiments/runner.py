@@ -148,6 +148,7 @@ def run_scenario(
     seed: int = 0,
     stop_on_collision: bool = False,
     tracer=None,
+    recorder=None,
     before_run: Optional[Callable[[RTExecutor], None]] = None,
 ) -> RunResult:
     """Run ``scenario`` under ``scheduler`` and collect all paper metrics.
@@ -156,6 +157,10 @@ def run_scenario(
     motivation experiment does; the evaluation experiments run to horizon).
     ``tracer`` (a :class:`~repro.rt.trace.TraceRecorder`) captures every
     dispatch interval for Gantt rendering / invariant checking.
+    ``recorder`` (a :class:`~repro.obs.recorder.Recorder`) captures the full
+    structured event stream of the run (spans, γ resolutions, windows, …)
+    for export and trace-invariant checking; ``None`` keeps the
+    uninstrumented code path.
     ``before_run`` receives the fully wired executor just before the run
     starts — the seam the fault-injection harness attaches through.
     """
@@ -185,6 +190,14 @@ def run_scenario(
         executor.tracer = tracer
 
     is_hcperf = isinstance(sched, HCPerfScheduler)
+
+    if recorder is not None:
+        executor.recorder = recorder
+        recorder.annotate(scenario=scenario.name, scheduler=sched.name, seed=seed)
+        if is_hcperf:
+            # Lets OBS005 check γ against the configured cap, not just the
+            # per-resolution γ_max.
+            recorder.annotate(gamma_cap=sched.coordinator.config.priority.gamma_cap)
 
     def plant_tick(t: float) -> None:
         plant.step(t)

@@ -100,6 +100,7 @@ class InjectionHarness:
         self.spec = spec
         self.events: List[FaultEvent] = []
         self._attached = False
+        self._executor: Optional[RTExecutor] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -109,6 +110,7 @@ class InjectionHarness:
         if self._attached:
             raise RuntimeError("an InjectionHarness attaches exactly once")
         self._attached = True
+        self._executor = executor
         if self.spec.is_empty:
             return
 
@@ -160,6 +162,10 @@ class InjectionHarness:
 
     def _log(self, t: float, kind: str, detail: str) -> None:
         self.events.append(FaultEvent(t=t, kind=kind, detail=detail))
+        # Mirror the entry into the run's structured recorder (if one is
+        # attached) so fault markers line up with spans on one timeline.
+        if self._executor is not None and self._executor.recorder is not None:
+            self._executor.recorder.fault(t, kind, detail)
 
     def _mark_window(
         self, executor: RTExecutor, t_on: float, t_off: float, kind: str, detail: str

@@ -13,9 +13,11 @@ one fault-free, one with the spec injected — and reduces them to a
 * **overload-flag duty cycle / rate-adapter resets** — how hard HCPerf's
   Eq. (11) overload detection and §V gain reset worked during the run.
 
-Everything derives from the existing :class:`MetricsRecorder` windows and
-plant traces, so a report is a pure function of (scenario, scheduler,
-seed, spec).
+The faulty run carries a :class:`~repro.obs.recorder.Recorder`, and every
+aggregate (miss-ratio curve, overload duty cycle, §V resets, fault-event
+log) is reduced from that one event stream — this module holds no private
+bookkeeping — so a report is a pure function of (scenario, scheduler,
+seed, spec) and the recording can be exported for inspection alongside it.
 """
 
 from __future__ import annotations
@@ -26,6 +28,13 @@ from typing import Callable, Dict, List, Optional, Union
 
 from ..analysis.stats import rms_series
 from ..experiments.runner import RunResult, run_scenario
+from ..obs.events import FaultMarkEvent
+from ..obs.recorder import Recorder
+from ..obs.reduce import (
+    miss_ratio_series,
+    overload_duty_cycle,
+    rate_adapter_resets,
+)
 from ..vehicle.car_following import CarFollowingPlant
 from ..workloads.scenarios import Scenario
 from .harness import InjectionHarness
@@ -129,9 +138,13 @@ def run_resilience(
 
     clean = run_scenario(factory(), scheduler, seed=seed)
     harness = InjectionHarness(spec)
-    faulty = run_scenario(factory(), scheduler, seed=seed, before_run=harness.attach)
+    recording = Recorder()
+    faulty = run_scenario(
+        factory(), scheduler, seed=seed, recorder=recording,
+        before_run=harness.attach,
+    )
 
-    series = faulty.miss_ratio_series()
+    series = miss_ratio_series(recording)
     onset = spec.first_onset()
     clear = spec.last_clear()
     if clear is not None:
@@ -181,8 +194,12 @@ def run_resilience(
         steady_state_miss_ratio=steady,
         tracking_error_rms=_tracking_rms(faulty),
         tracking_error_rms_clean=_tracking_rms(clean),
-        overload_duty_cycle=faulty.overload_duty_cycle,
-        rate_adapter_resets=faulty.rate_adapter_resets,
-        fault_events=harness.events_dict(),
+        overload_duty_cycle=overload_duty_cycle(recording),
+        rate_adapter_resets=rate_adapter_resets(recording),
+        fault_events=[
+            {"t": e.t, "kind": e.fault, "detail": e.detail}
+            for e in recording.events
+            if isinstance(e, FaultMarkEvent)
+        ],
         miss_ratio_series=[[t, ratio] for t, ratio in series],
     )

@@ -1,0 +1,273 @@
+"""Recording exporters: Chrome ``trace_event`` JSON, JSONL and text summary.
+
+* :func:`to_chrome_trace` emits the JSON Object Format of the Chrome
+  trace-event specification — loadable in Perfetto or ``chrome://tracing``.
+  Execution spans become complete (``"X"``) events on one thread lane per
+  processor; releases/drops/faults become instant (``"i"``) events; γ and
+  the windowed miss ratio become counter (``"C"``) series.  Timestamps are
+  microseconds, as the format requires.
+* :func:`to_jsonl` emits one JSON object per line — a meta line followed by
+  every event in emission order, with fixed key order and compact
+  separators so the output is byte-stable for identical recordings (the
+  golden-trace regression test pins this).
+* :func:`summary_text` renders a human-readable digest.
+* :func:`save_recording` / :func:`load_recording` write/read the canonical
+  single-object JSON form (also accepting JSONL on load).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .events import event_from_dict
+from .recorder import SCHEMA, Recorder
+
+__all__ = [
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "to_jsonl",
+    "from_jsonl",
+    "summary_text",
+    "save_recording",
+    "load_recording",
+]
+
+#: Phases of the trace-event format this exporter emits.
+_CHROME_PHASES = frozenset({"X", "i", "C", "M"})
+
+_US = 1_000_000.0  # seconds -> microseconds
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, separators=(",", ":"), sort_keys=False)
+
+
+def to_chrome_trace(rec: Recorder) -> Dict[str, Any]:
+    """Convert a recording to the Chrome trace-event JSON Object Format."""
+    meta = rec.meta
+    label = " ".join(
+        str(meta[k]) for k in ("scenario", "scheduler") if meta.get(k) is not None
+    ) or "hcperf run"
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": f"hcperf {label}"},
+        }
+    ]
+    n_processors = int(meta.get("n_processors", 0) or 0)
+    seen_procs = sorted({s.processor for s in rec.spans()} | set(range(n_processors)))
+    for proc in seen_procs:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": proc,
+                "args": {"name": f"processor {proc}"},
+            }
+        )
+    for event in rec.events:
+        data = event.to_dict()
+        kind = event.kind
+        if kind == "span":
+            events.append(
+                {
+                    "name": data["task"],
+                    "cat": "exec",
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": data["processor"],
+                    "ts": data["start"] * _US,
+                    "dur": max(0.0, (data["finish"] - data["start"]) * _US),
+                    "args": {
+                        "cycle": data["cycle"],
+                        "release": data["release"],
+                        "deadline": data["deadline"],
+                        "outcome": data["outcome"],
+                    },
+                }
+            )
+        elif kind in ("release", "drop", "unresolved", "fault", "rate", "control"):
+            name = {
+                "release": f"release {data.get('task', '')}",
+                "drop": f"drop {data.get('task', '')}",
+                "unresolved": f"unresolved {data.get('task', '')}",
+                "fault": f"fault {data.get('fault', '')}",
+                "rate": f"rate {data.get('task', '')}",
+                "control": "control command",
+            }[kind]
+            args = {k: v for k, v in data.items() if k not in ("ev", "t")}
+            events.append(
+                {
+                    "name": name,
+                    "cat": kind,
+                    "ph": "i",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": event.t * _US,
+                    "s": "g",  # global-scope instant
+                    "args": args,
+                }
+            )
+        elif kind == "gamma":
+            events.append(
+                {
+                    "name": "gamma",
+                    "cat": "coordination",
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": event.t * _US,
+                    "args": {"gamma": data["gamma"]},
+                }
+            )
+        elif kind == "window":
+            events.append(
+                {
+                    "name": "miss_ratio",
+                    "cat": "coordination",
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": event.t * _US,
+                    "args": {
+                        "miss_ratio": (
+                            data["missed"] / (data["completed"] + data["missed"])
+                            if data["completed"] + data["missed"]
+                            else 0.0
+                        ),
+                        "utilization": data["utilization"],
+                    },
+                }
+            )
+        # controller / rate_adapter steps stay JSONL-only: tracing UIs have
+        # no useful lane for them and the counters above carry the story.
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {k: v for k, v in meta.items() if k != "tasks"},
+    }
+
+
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Structural validation against the trace-event schema (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(trace, dict):
+        return ["top level must be a JSON object (the JSON Object Format)"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be an array"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing event name")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: bad timestamp {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs dur >= 0, got {dur!r}")
+        if ph == "i" and ev.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: bad instant scope {ev.get('s')!r}")
+        if ph == "C" and not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: counter event needs numeric args")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def to_jsonl(rec: Recorder) -> str:
+    """Byte-stable JSONL: one meta line, then one line per event."""
+    meta = {"ev": "meta"}
+    meta.update(rec.to_dict()["meta"])
+    meta["schema"] = SCHEMA
+    lines = [_dumps(meta)]
+    lines.extend(_dumps(e.to_dict()) for e in rec.events)
+    return "\n".join(lines) + "\n"
+
+
+def from_jsonl(text: str) -> Recorder:
+    """Rebuild a recording from its JSONL export."""
+    rec = Recorder()
+    for i, line in enumerate(text.splitlines()):
+        if not line.strip():
+            continue
+        data = json.loads(line)
+        if data.get("ev") == "meta":
+            schema = data.pop("schema", None)
+            if schema != SCHEMA:
+                raise ValueError(f"unsupported recording schema {schema!r}")
+            data.pop("ev")
+            rec.meta.update(data)
+            continue
+        try:
+            rec.emit(event_from_dict(data))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"line {i + 1}: {exc}") from exc
+    return rec
+
+
+def summary_text(rec: Recorder) -> str:
+    """Human-readable digest of a recording."""
+    from .reduce import reduce_recording
+
+    meta = rec.meta
+    stats = rec.stats()
+    registry = reduce_recording(rec)
+    lines = [
+        f"recording  : {meta.get('scenario', '?')} / {meta.get('scheduler', '?')} "
+        f"(seed {meta.get('seed', '?')})",
+        f"time span  : 0.0 .. {rec.t_end:.3f} s "
+        f"({int(meta['n_processors'])} processors)"
+        if meta.get("n_processors")
+        else f"time span  : 0.0 .. {rec.t_end:.3f} s",
+        f"events     : {stats['_total']}"
+        + (f" (+{stats['_dropped']} dropped, capacity-bounded)" if rec.dropped else ""),
+    ]
+    by_kind = ", ".join(
+        f"{kind}={count}"
+        for kind, count in sorted(stats.items())
+        if not kind.startswith("_")
+    )
+    lines.append(f"by kind    : {by_kind}")
+    lines.append("")
+    lines.append(registry.render_text())
+    return "\n".join(lines)
+
+
+def save_recording(rec: Recorder, path: Union[str, Path]) -> None:
+    """Write the canonical single-object JSON form."""
+    Path(path).write_text(json.dumps(rec.to_dict(), indent=1) + "\n")
+
+
+def load_recording(path: Union[str, Path]) -> Recorder:
+    """Load a recording from canonical JSON or JSONL export."""
+    text = Path(path).read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValueError(f"{path}: empty recording file")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return from_jsonl(text)
+    if isinstance(data, dict) and "traceEvents" in data:
+        raise ValueError(
+            f"{path}: this is a Chrome trace export, not a recording; "
+            f"re-export from the canonical file"
+        )
+    if isinstance(data, dict) and "events" in data:
+        return Recorder.from_dict(data)
+    # A single-line JSONL file parses as one object; fall through.
+    return from_jsonl(text)

@@ -1,0 +1,159 @@
+"""Reduce a recording into the experiment metrics.
+
+The reductions here are the bridge between the flight recorder and the
+existing evaluation surfaces: a recording folds back into the windowed
+:class:`~repro.rt.metrics.WindowSample` series the experiments consume,
+and the HCPerf-specific aggregates (overload duty cycle, §V rate-adapter
+resets) that :mod:`repro.faults.resilience` reports — making both thin
+consumers of the event stream instead of keeping private bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..rt.metrics import WindowSample
+from .events import (
+    ControlEvent,
+    DropEvent,
+    FaultMarkEvent,
+    GammaEvent,
+    RateAdapterEvent,
+    RateEvent,
+    ReleaseEvent,
+    SpanEvent,
+    UnresolvedEvent,
+    WindowEvent,
+)
+from .metrics import MetricsRegistry
+from .recorder import Recorder
+
+__all__ = [
+    "to_window_samples",
+    "miss_ratio_series",
+    "overall_miss_ratio",
+    "overload_duty_cycle",
+    "rate_adapter_resets",
+    "reduce_recording",
+]
+
+#: Fixed bucket edges (seconds) for latency-style histograms: 1 ms .. 1 s.
+LATENCY_EDGES = (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+#: Fixed bucket edges for the dimensionless γ coefficient.
+GAMMA_EDGES = (0.0025, 0.005, 0.01, 0.02, 0.05, 0.1)
+
+#: Fixed bucket edges for per-window deadline-miss ratios.
+RATIO_EDGES = (0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def to_window_samples(rec: Recorder) -> List[WindowSample]:
+    """The coordination-window series as :class:`WindowSample` objects."""
+    return [
+        WindowSample(
+            t_start=e.t_start,
+            t_end=e.t,
+            completed=e.completed,
+            missed=e.missed,
+            control_commands=e.control_commands,
+            utilization=e.utilization,
+        )
+        for e in rec.events
+        if isinstance(e, WindowEvent)
+    ]
+
+
+def miss_ratio_series(rec: Recorder) -> List[Tuple[float, float]]:
+    """``(window_end, miss_ratio)`` pairs — the Fig. 13(d)/15(d) series."""
+    return [(w.t_end, w.miss_ratio) for w in to_window_samples(rec)]
+
+
+def overall_miss_ratio(rec: Recorder) -> float:
+    """Cumulative miss ratio over every resolution in the recording."""
+    completed = missed = 0
+    for event in rec.events:
+        if isinstance(event, SpanEvent):
+            if event.outcome == "complete":
+                completed += 1
+            else:
+                missed += 1
+        elif isinstance(event, DropEvent):
+            missed += 1
+    finished = completed + missed
+    return missed / finished if finished else 0.0
+
+
+def overload_duty_cycle(rec: Recorder) -> float:
+    """Fraction of γ resolutions where Eq. (11) was infeasible."""
+    total = overloads = 0
+    for event in rec.events:
+        if isinstance(event, GammaEvent):
+            total += 1
+            overloads += int(event.overloaded)
+    return overloads / max(1, total)
+
+
+def rate_adapter_resets(rec: Recorder) -> int:
+    """§V regime-change gain resets the Task Rate Adapter performed."""
+    return sum(
+        1 for e in rec.events if isinstance(e, RateAdapterEvent) and e.reset
+    )
+
+
+def reduce_recording(rec: Recorder) -> MetricsRegistry:
+    """Fold a recording into a :class:`MetricsRegistry` snapshot."""
+    reg = MetricsRegistry()
+    released = reg.counter("jobs_released", "job releases")
+    completed = reg.counter("jobs_completed", "on-time completions")
+    missed = reg.counter("jobs_missed", "all deadline misses")
+    dropped = reg.counter("jobs_dropped", "misses that never ran (queue drops)")
+    killed = reg.counter("jobs_killed", "jobs cut short by processor failures")
+    unresolved = reg.counter("jobs_unresolved", "in flight at recording end")
+    commands = reg.counter("control_commands", "in-time control commands")
+    overloads = reg.counter("gamma_overloads", "Eq. (11)-infeasible resolutions")
+    resets = reg.counter("rate_adapter_resets", "§V gain resets")
+    faults = reg.counter("fault_events", "fault-injection markers")
+    response = reg.histogram(
+        "control_response_s", LATENCY_EDGES, "control-command response time"
+    )
+    span_dur = reg.histogram("span_duration_s", LATENCY_EDGES, "executed interval length")
+    gamma_hist = reg.histogram("gamma", GAMMA_EDGES, "applied γ coefficient")
+    win_ratio = reg.histogram(
+        "window_miss_ratio", RATIO_EDGES, "per-window deadline-miss ratio"
+    )
+
+    for event in rec.events:
+        if isinstance(event, ReleaseEvent):
+            released.inc()
+        elif isinstance(event, SpanEvent):
+            span_dur.observe(event.finish - event.start)
+            if event.outcome == "complete":
+                completed.inc()
+            elif event.outcome == "kill":
+                missed.inc()
+                killed.inc()
+            else:
+                missed.inc()
+        elif isinstance(event, DropEvent):
+            missed.inc()
+            dropped.inc()
+        elif isinstance(event, UnresolvedEvent):
+            unresolved.inc()
+        elif isinstance(event, ControlEvent):
+            commands.inc()
+            response.observe(event.response)
+        elif isinstance(event, GammaEvent):
+            gamma_hist.observe(event.gamma)
+            if event.overloaded:
+                overloads.inc()
+        elif isinstance(event, RateAdapterEvent):
+            if event.reset:
+                resets.inc()
+        elif isinstance(event, RateEvent):
+            reg.gauge(f"rate_hz.{event.task}").set(event.rate)
+        elif isinstance(event, WindowEvent):
+            win_ratio.observe(event.miss_ratio)
+            reg.gauge("utilization").set(event.utilization)
+        elif isinstance(event, FaultMarkEvent):
+            faults.inc()
+    return reg

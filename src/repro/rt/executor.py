@@ -32,12 +32,14 @@ from .events import Event, EventHeap, EventKind
 from .view import SystemView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..obs.recorder import Recorder
     from ..schedulers.base import Scheduler
 from .exectime import ExecContext, ExecTimeObserver
 from .metrics import MetricsRecorder
 from .queue import ReadyQueue
 from .task import Job, JobState, TaskKind, TaskSpec
 from .taskgraph import TaskGraph
+from .trace import TraceEntry, TraceRecorder
 
 __all__ = ["ProcessorState", "SimConfig", "RTExecutor"]
 
@@ -190,7 +192,13 @@ class RTExecutor:
         self._last_window_time = 0.0
         #: Optional execution tracer (see :mod:`repro.rt.trace`); assign a
         #: TraceRecorder before run() to capture every dispatch interval.
-        self.tracer = None
+        self.tracer: Optional[TraceRecorder] = None
+        #: Optional structured recorder (see :mod:`repro.obs`); assign a
+        #: Recorder before run() to capture the full typed event stream.
+        #: ``None`` (the default) keeps the pre-instrumentation code path —
+        #: a recorder-free run is byte-identical to one before the
+        #: observability layer existed.
+        self.recorder: Optional["Recorder"] = None
         #: Optional release filter: ``gate(task_name, now) -> bool``.  A
         #: ``False`` verdict suppresses that source release (the sensor
         #: produced no frame) while the release clock keeps ticking — the
@@ -289,22 +297,7 @@ class RTExecutor:
         proc.busy_until = self.now
         victim.state = JobState.MISSED
         victim.finish_time = self.now
-        if self.tracer is not None:
-            from .trace import TraceEntry
-
-            self.tracer.record(
-                TraceEntry(
-                    task=victim.task.name,
-                    cycle=victim.cycle,
-                    processor=index,
-                    start=victim.start_time if victim.start_time is not None else self.now,
-                    finish=self.now,
-                    release=victim.release_time,
-                    deadline=victim.absolute_deadline,
-                    completed=False,
-                    killed=True,
-                )
-            )
+        self._record_interval(victim, index, outcome="kill")
         self.metrics.on_miss(victim, dropped=True)
         self.scheduler.on_job_miss(victim, self.now, self.view)
         return victim
@@ -318,12 +311,41 @@ class RTExecutor:
     def stop_reason(self) -> Optional[str]:
         return self._stop_reason
 
+    def _record_interval(self, job: Job, proc_index: int, outcome: str) -> None:
+        """Report one executed interval to the attached trace sinks.
+
+        The single emission point for both the legacy interval tracer and
+        the structured recorder, so the two views can never disagree about
+        what ran where.
+        """
+        if self.tracer is not None:
+            self.tracer.record(
+                TraceEntry(
+                    task=job.task.name,
+                    cycle=job.cycle,
+                    processor=proc_index,
+                    start=job.start_time if job.start_time is not None else self.now,
+                    finish=self.now,
+                    release=job.release_time,
+                    deadline=job.absolute_deadline,
+                    completed=outcome == "complete",
+                    killed=outcome == "kill",
+                )
+            )
+        if self.recorder is not None:
+            self.recorder.span(job, proc_index, outcome, self.now)
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> MetricsRecorder:
         """Execute the simulation until the horizon and return the metrics."""
         self.scheduler.prepare(self.graph, self.config.n_processors)
+        if self.recorder is not None:
+            self.recorder.bind_run(self)
+            # Hand the recorder to the policy so HCPerf can report γ
+            # resolutions and coordinator steps through the same stream.
+            self.scheduler.recorder = self.recorder
         self._started = True
         for src in self.graph.sources():
             self._events.push(0.0, Event(EventKind.SOURCE_RELEASE, src.name))
@@ -350,6 +372,8 @@ class RTExecutor:
                 self._handle_periodic(event.payload)
             self._dispatch()
         self.now = min(self.now, horizon)
+        if self.recorder is not None:
+            self.recorder.finalize_run(self)
         return self.metrics
 
     # ------------------------------------------------------------------
@@ -379,6 +403,8 @@ class RTExecutor:
             cycle=cycle,
         )
         self.metrics.on_release(job)
+        if self.recorder is not None:
+            self.recorder.release(job)
         # Bounded channel: evict the oldest queued job of the same task.
         queued_same = [j for j in self.ready if j.task.name == spec.name]
         if len(queued_same) >= self.config.max_pending_per_task:
@@ -386,6 +412,8 @@ class RTExecutor:
             self.ready.remove(victim)
             victim.state = JobState.MISSED
             victim.finish_time = self.now
+            if self.recorder is not None:
+                self.recorder.drop(victim, self.now, reason="evicted")
             self.metrics.on_miss(victim, dropped=True)
             self.scheduler.on_job_miss(victim, self.now, self.view)
         self.ready.push(job)
@@ -402,23 +430,10 @@ class RTExecutor:
         proc.busy_time_total += job.exec_time
         job.finish_time = self.now
         self.observer.observe(job.task.name, job.exec_time)
-        if self.tracer is not None:
-            from .trace import TraceEntry
+        on_time = self.now <= job.absolute_deadline
+        self._record_interval(job, proc_index, outcome="complete" if on_time else "miss")
 
-            self.tracer.record(
-                TraceEntry(
-                    task=job.task.name,
-                    cycle=job.cycle,
-                    processor=proc_index,
-                    start=job.start_time if job.start_time is not None else self.now,
-                    finish=self.now,
-                    release=job.release_time,
-                    deadline=job.absolute_deadline,
-                    completed=self.now <= job.absolute_deadline,
-                )
-            )
-
-        if self.now <= job.absolute_deadline:
+        if on_time:
             job.state = JobState.COMPLETED
             self.metrics.on_complete(job)
             self.scheduler.on_job_complete(job, self.now, self.view)
@@ -433,6 +448,8 @@ class RTExecutor:
         spec = job.task
         if self.graph.kind(spec.name) is TaskKind.SINK:
             response = job.response_time or 0.0
+            if self.recorder is not None:
+                self.recorder.control(self.now, response)
             self.metrics.on_control_command(self.now, response)
             if self.on_control is not None:
                 self.on_control(job, self.now)
@@ -485,11 +502,15 @@ class RTExecutor:
         self._last_busy_integral = busy
         self._last_window_time = self.now
         window = self.metrics.close_window(self.now, utilization=util)
+        if self.recorder is not None:
+            self.recorder.window(window)
         self.scheduler.on_window(self.now, self.view, window)
         desired = self.scheduler.desired_rates()
         if desired:
             for name, rate in desired.items():
-                self.set_rate(name, rate)
+                applied = self.set_rate(name, rate)
+                if self.recorder is not None:
+                    self.recorder.rate(self.now, name, applied)
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -499,6 +520,8 @@ class RTExecutor:
             for job in self.ready.drop_expired(self.now):
                 job.state = JobState.MISSED
                 job.finish_time = self.now
+                if self.recorder is not None:
+                    self.recorder.drop(job, self.now, reason="expired")
                 self.metrics.on_miss(job, dropped=True)
                 self.scheduler.on_job_miss(job, self.now, self.view)
         free = [p for p in self.processors if p.idle and p.available]

@@ -109,11 +109,20 @@ def render_gantt(
 ) -> str:
     """ASCII Gantt chart of a trace window, one row per processor.
 
+    ``recorder`` is a :class:`TraceRecorder` or anything exposing an
+    ``interval_view()`` returning one — in particular the structured
+    :class:`~repro.obs.recorder.Recorder`, whose span stream is the single
+    source of truth for busy intervals (rendering it here avoids a second,
+    divergent interval derivation).
+
     Each column is ``(t_end − t_start)/width`` seconds; a cell shows the
     symbol of the task occupying (most of) it — a distinct letter per task,
     upper-case when the job met its deadline, lower-case when it missed,
     ``#`` when the job was killed by a processor failure; ``.`` is idle.
     """
+    view = getattr(recorder, "interval_view", None)
+    if view is not None:
+        recorder = view()
     if t_end <= t_start:
         raise ValueError("t_end must exceed t_start")
     if width < 10:

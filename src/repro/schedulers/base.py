@@ -11,12 +11,15 @@ paper's convention that a smaller priority value means higher priority.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..rt.metrics import WindowSample
 from ..rt.task import Job
 from ..rt.taskgraph import TaskGraph
 from ..rt.view import SystemView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..obs.recorder import Recorder
 
 __all__ = ["SystemView", "Scheduler"]
 
@@ -40,6 +43,12 @@ class Scheduler:
     #: the §III-B inefficiency HCPerf's coordinators remove, so only HCPerf
     #: enables this flag.
     drop_expired: bool = False
+
+    #: Structured recorder handed over by the executor at run start (see
+    #: :mod:`repro.obs`).  Policies with internal decision state (HCPerf's
+    #: γ resolutions, controller and rate-adapter steps) emit through it;
+    #: baselines ignore it.  ``None`` outside a recorded run.
+    recorder: Optional["Recorder"] = None
 
     def prepare(self, graph: TaskGraph, n_processors: int) -> None:
         """One-time setup before the simulation starts.

@@ -81,6 +81,8 @@ class HCPerfScheduler(Scheduler):
             n_processors=view.n_processors,
         )
         self._gamma = result.gamma
+        if self.recorder is not None:
+            self.recorder.gamma(now, result.gamma, result.gamma_max, result.overloaded)
 
     def rank(self, job: Job, now: float, view: SystemView) -> float:
         c_est = view.observer.estimate(job.task.name, job.exec_time)
@@ -93,13 +95,25 @@ class HCPerfScheduler(Scheduler):
             # through the warm-up) so drift is measured against a converged
             # initial profile.
             view.observer.mark_stable()
-        self.coordinator.sample_controller(now)
+        u = self.coordinator.sample_controller(now)
+        if self.recorder is not None:
+            self.recorder.controller(now, u, self.coordinator.mfc.f_hat)
+        resets_before = self.coordinator.rate_adapter.resets
         self._desired_rates = self.coordinator.adapt_rates(
             window.miss_ratio,
             dict(view.rates),
             view.observer,
             utilization=window.utilization,
         )
+        if self.recorder is not None and self._desired_rates is not None:
+            # adapt_rates returns None only when the external coordinator is
+            # disabled (ablation) — no adapter step happened then.
+            self.recorder.rate_adapter(
+                now,
+                window.miss_ratio,
+                self.coordinator.rate_adapter.kp,
+                reset=self.coordinator.rate_adapter.resets > resets_before,
+            )
 
     def desired_rates(self) -> Optional[Dict[str, float]]:
         rates, self._desired_rates = self._desired_rates, None

@@ -1,0 +1,121 @@
+"""Resilience edge cases: zero-miss runs, no recovery, single-tick traces."""
+
+import dataclasses
+import json
+import math
+
+from repro.faults import ExecTimeSpike, FaultSpec, run_resilience
+from repro.workloads.scenarios import fig13_car_following
+
+
+def short_fig13():
+    return fig13_car_following(horizon=10.0)
+
+
+def mild_spec():
+    """A spike with factor 1.0: present on the timeline, zero extra load."""
+    return FaultSpec(
+        name="mild",
+        faults=[
+            ExecTimeSpike(task="sensor_fusion", t_on=2.0, t_off=3.0, factor=1.0)
+        ],
+    )
+
+
+def crushing_spec(t_on=2.0, t_off=9.9):
+    return FaultSpec(
+        name="crush",
+        faults=[
+            ExecTimeSpike(task="sensor_fusion", t_on=t_on, t_off=t_off, factor=50.0)
+        ],
+    )
+
+
+class TestZeroMissRuns:
+    """A fault that causes no misses must not invent degradation."""
+
+    def test_report_is_all_zeros_but_still_recovers(self):
+        report = run_resilience(short_fig13, "HCPerf", mild_spec(), seed=0)
+        assert report.peak_miss_ratio == 0.0
+        assert report.baseline_miss_ratio == 0.0
+        assert report.steady_state_miss_ratio == 0.0
+        assert report.recovered
+        assert report.time_to_recover == 0.0
+        assert all(ratio == 0.0 for _, ratio in report.miss_ratio_series)
+        # twin runs share the seed, so a no-op fault costs nothing
+        assert report.tracking_error_degradation == 0.0
+        assert report.fault_events  # the no-op fault still left its marks
+
+    def test_zero_miss_report_serializes(self):
+        report = run_resilience(short_fig13, "EDF", mild_spec(), seed=0)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["peak_miss_ratio"] == 0.0
+        assert payload["recovered"] is True
+
+
+class TestRecoveryNeverReached:
+    def test_fault_clearing_at_horizon_leaves_no_room(self):
+        # The fault clears 0.1 s before the end: fewer than RECOVERY_WINDOWS
+        # calm windows can follow, so recovery must not be declared.
+        report = run_resilience(short_fig13, "EDF", crushing_spec(), seed=0)
+        assert not report.recovered
+        assert report.time_to_recover is None
+        assert report.peak_miss_ratio > 0.0
+
+    def test_impossible_window_requirement(self):
+        # Demanding more calm windows than the horizon holds can never pass.
+        report = run_resilience(
+            short_fig13, "HCPerf", crushing_spec(t_off=4.0), seed=0,
+            recovery_windows=10_000,
+        )
+        assert not report.recovered
+        assert report.time_to_recover is None
+
+    def test_permanent_fault_reports_no_clear_time(self):
+        spec = FaultSpec(
+            name="forever",
+            faults=[
+                ExecTimeSpike(
+                    task="sensor_fusion", t_on=2.0, t_off=math.inf, factor=50.0
+                )
+            ],
+        )
+        report = run_resilience(short_fig13, "EDF", spec, seed=0)
+        # inf clamps to the horizon: the fault never clears inside the run
+        assert report.fault_clear == report.horizon
+        assert not report.recovered
+
+
+class TestSingleTickTraces:
+    """One coordination window of history must produce a sane report."""
+
+    def single_window_fig13(self):
+        scenario = fig13_car_following(horizon=10.0)
+        sim = dataclasses.replace(scenario.sim, coordination_period=10.0)
+        return dataclasses.replace(scenario, sim=sim)
+
+    def test_one_window_run(self):
+        spec = FaultSpec(
+            name="tick",
+            faults=[
+                ExecTimeSpike(task="sensor_fusion", t_on=1.0, t_off=2.0, factor=4.0)
+            ],
+        )
+        report = run_resilience(self.single_window_fig13, "EDF", spec, seed=0)
+        assert len(report.miss_ratio_series) == 1
+        # a single window can never satisfy a 3-window calm streak
+        assert not report.recovered
+        assert report.time_to_recover is None
+        assert 0.0 <= report.steady_state_miss_ratio <= 1.0
+        assert report.peak_miss_ratio == report.miss_ratio_series[0][1]
+
+    def test_one_window_zero_miss_run(self):
+        report = run_resilience(
+            self.single_window_fig13, "HCPerf", mild_spec(), seed=0,
+            recovery_windows=1,
+        )
+        assert len(report.miss_ratio_series) == 1
+        assert report.recovered
+        # the single window closes at the horizon; recovery is dated there
+        window_end = report.miss_ratio_series[0][0]
+        assert report.time_to_recover == window_end - report.fault_clear

@@ -1,0 +1,147 @@
+"""Exporters: Chrome trace validity, JSONL byte-stability, load/save."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    from_jsonl,
+    load_recording,
+    save_recording,
+    summary_text,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.recorder import SCHEMA, Recorder
+from repro.rt import RTExecutor, SimConfig
+from repro.schedulers import EDFScheduler, HCPerfScheduler
+
+from ..conftest import build_chain_graph
+
+
+@pytest.fixture
+def recorded_run():
+    executor = RTExecutor(
+        build_chain_graph(),
+        HCPerfScheduler(),
+        SimConfig(n_processors=2, horizon=1.0, coordination_period=0.25, seed=3),
+    )
+    rec = Recorder()
+    executor.recorder = rec
+    executor.run()
+    rec.annotate(scenario="chain", scheduler="HCPerf", seed=3)
+    return rec
+
+
+class TestChromeTrace:
+    def test_export_is_schema_valid(self, recorded_run):
+        trace = to_chrome_trace(recorded_run)
+        assert validate_chrome_trace(trace) == []
+        # JSON-serializable end to end
+        json.dumps(trace)
+
+    def test_lane_and_event_structure(self, recorded_run):
+        trace = to_chrome_trace(recorded_run)
+        events = trace["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+        spans = [e for e in events if e["ph"] == "X"]
+        assert spans and all(e["dur"] >= 0 for e in spans)
+        # timestamps are microseconds of simulated time
+        assert all(0 <= e["ts"] <= 1.0e6 for e in spans)
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "gamma" in counters and "miss_ratio" in counters
+        assert trace["otherData"]["seed"] == 3
+        assert "tasks" not in trace["otherData"]
+
+    def test_validator_flags_malformed_traces(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"traceEvents": 3}) != []
+        bad = {
+            "traceEvents": [
+                {"ph": "Z", "name": "x"},
+                {"ph": "X", "name": "", "ts": 0},
+                {"ph": "X", "name": "x", "ts": -1, "dur": -2},
+                {"ph": "i", "name": "x", "ts": 0, "s": "q"},
+                {"ph": "C", "name": "x", "ts": 0, "args": 5},
+            ]
+        }
+        problems = validate_chrome_trace(bad)
+        assert len(problems) >= 5
+
+
+class TestJsonl:
+    def test_round_trip_is_byte_stable(self, recorded_run):
+        text = to_jsonl(recorded_run)
+        clone = from_jsonl(text)
+        assert to_jsonl(clone) == text
+        assert clone.events == recorded_run.events
+        assert clone.meta["scenario"] == "chain"
+
+    def test_meta_line_first_with_schema(self, recorded_run):
+        first = json.loads(to_jsonl(recorded_run).splitlines()[0])
+        assert first["ev"] == "meta"
+        assert first["schema"] == SCHEMA
+
+    def test_compact_separators(self, recorded_run):
+        line = to_jsonl(recorded_run).splitlines()[1]
+        assert ": " not in line and ", " not in line
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            from_jsonl('{"ev":"meta","schema":"hcperf-trace/99"}\n')
+
+    def test_bad_line_reported_with_number(self):
+        text = (
+            f'{{"ev":"meta","schema":"{SCHEMA}"}}\n'
+            '{"ev":"gamma","t":0.0,"bogus":1}\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            from_jsonl(text)
+
+
+class TestSaveLoad:
+    def test_canonical_json_round_trip(self, recorded_run, tmp_path):
+        path = tmp_path / "rec.json"
+        save_recording(recorded_run, path)
+        clone = load_recording(path)
+        assert clone.events == recorded_run.events
+        assert clone.meta["scheduler"] == "HCPerf"
+
+    def test_load_accepts_jsonl(self, recorded_run, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        path.write_text(to_jsonl(recorded_run))
+        clone = load_recording(path)
+        assert clone.events == recorded_run.events
+
+    def test_load_rejects_chrome_export(self, recorded_run, tmp_path):
+        path = tmp_path / "chrome.json"
+        path.write_text(json.dumps(to_chrome_trace(recorded_run)))
+        with pytest.raises(ValueError, match="Chrome"):
+            load_recording(path)
+
+    def test_load_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_recording(path)
+
+
+class TestSummary:
+    def test_summary_mentions_the_essentials(self, recorded_run):
+        text = summary_text(recorded_run)
+        assert "chain / HCPerf" in text
+        assert "jobs_released" in text
+        assert "span=" in text
+
+    def test_summary_without_meta(self):
+        executor = RTExecutor(
+            build_chain_graph(),
+            EDFScheduler(),
+            SimConfig(n_processors=1, horizon=0.5, coordination_period=0.25, seed=0),
+        )
+        rec = Recorder()
+        executor.recorder = rec
+        executor.run()
+        assert "time span" in summary_text(rec)

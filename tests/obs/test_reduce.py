@@ -1,0 +1,104 @@
+"""Reductions agree with the executor's own metrics bookkeeping."""
+
+import pytest
+
+from repro.obs.recorder import Recorder
+from repro.obs.reduce import (
+    miss_ratio_series,
+    overall_miss_ratio,
+    overload_duty_cycle,
+    rate_adapter_resets,
+    reduce_recording,
+    to_window_samples,
+)
+from repro.rt import RTExecutor, SimConfig
+from repro.schedulers import EDFScheduler, HCPerfScheduler
+
+from ..conftest import build_chain_graph
+
+
+@pytest.fixture
+def twin():
+    """One recorded run plus its executor (ground-truth metrics)."""
+    executor = RTExecutor(
+        build_chain_graph(exec_times=(0.004, 0.02, 0.004)),
+        HCPerfScheduler(),
+        SimConfig(n_processors=1, horizon=2.0, coordination_period=0.25, seed=11),
+    )
+    rec = Recorder()
+    executor.recorder = rec
+    metrics = executor.run()
+    return rec, metrics
+
+
+class TestWindowSeries:
+    def test_window_samples_match_metrics(self, twin):
+        rec, metrics = twin
+        ours = to_window_samples(rec)
+        theirs = metrics.windows
+        assert len(ours) == len(theirs)
+        for a, b in zip(ours, theirs):
+            assert (a.t_start, a.t_end, a.completed, a.missed) == (
+                b.t_start, b.t_end, b.completed, b.missed
+            )
+            assert a.utilization == pytest.approx(b.utilization)
+
+    def test_miss_ratio_series_matches(self, twin):
+        rec, metrics = twin
+        assert miss_ratio_series(rec) == metrics.miss_ratio_series()
+
+
+class TestAggregates:
+    def test_overall_miss_ratio_matches_metrics(self, twin):
+        rec, metrics = twin
+        assert overall_miss_ratio(rec) == pytest.approx(metrics.overall_miss_ratio)
+
+    def test_duty_cycle_and_resets_on_clean_run(self, twin):
+        rec, _ = twin
+        assert 0.0 <= overload_duty_cycle(rec) <= 1.0
+        assert rate_adapter_resets(rec) >= 0
+
+    def test_duty_cycle_empty_recording_is_zero(self):
+        assert overload_duty_cycle(Recorder()) == 0.0
+        assert overall_miss_ratio(Recorder()) == 0.0
+
+
+class TestReduceRecording:
+    def test_counters_match_metrics(self, twin):
+        rec, metrics = twin
+        reg = reduce_recording(rec)
+        per_task = metrics.per_task.values()
+        released = sum(s.released for s in per_task)
+        completed = sum(s.completed for s in per_task)
+        missed = sum(s.missed for s in per_task)
+        # releases in flight at the horizon resolve as "unresolved" events
+        assert reg["jobs_released"].value == released
+        assert reg["jobs_completed"].value == completed
+        assert reg["jobs_missed"].value == missed
+        assert (
+            reg["jobs_completed"].value
+            + reg["jobs_missed"].value
+            + reg["jobs_unresolved"].value
+            == released
+        )
+        assert reg["control_commands"].value == len(metrics.control_events)
+
+    def test_baseline_run_has_no_hcperf_series(self):
+        executor = RTExecutor(
+            build_chain_graph(),
+            EDFScheduler(),
+            SimConfig(n_processors=1, horizon=0.5, coordination_period=0.25, seed=0),
+        )
+        rec = Recorder()
+        executor.recorder = rec
+        executor.run()
+        reg = reduce_recording(rec)
+        assert reg["gamma"].total == 0
+        assert reg["rate_adapter_resets"].value == 0
+
+    def test_histograms_populated(self, twin):
+        rec, _ = twin
+        reg = reduce_recording(rec)
+        assert reg["span_duration_s"].total == sum(1 for _ in rec.spans())
+        assert reg["gamma"].total == len(rec.by_kind("gamma"))
+        assert reg["window_miss_ratio"].total == len(rec.by_kind("window"))
