@@ -25,7 +25,12 @@ Modes:
 * ``hcperf bench run|compare|list`` — machine-readable benchmark
   harness: run a registered suite to ``BENCH_<tag>.json`` and gate a new
   report against a baseline with a perf-regression threshold (see
-  docs/benchmarks.md).
+  docs/benchmarks.md);
+* ``hcperf serve`` / ``hcperf submit`` / ``hcperf jobs`` — the job
+  service: a long-running HTTP server that queues campaign/fault/trace
+  jobs, runs them on the fleet worker pool and persists everything in a
+  durable SQLite session store; plus the client verbs to submit, poll
+  and fetch (see docs/service.md).
 """
 
 from __future__ import annotations
@@ -129,6 +134,11 @@ def _list_experiments() -> str:
     lines.append(
         "Benchmarks:       hcperf bench {run,compare,list} "
         "[--suite smoke|full] [-o PATH] [--threshold PCT]"
+    )
+    lines.append(
+        "Job service:      hcperf serve [--port N --store PATH] | "
+        "hcperf submit {campaign,fault,trace} ... | "
+        "hcperf jobs {list,show,events,result,cancel,metrics}"
     )
     return "\n".join(lines)
 
@@ -498,7 +508,10 @@ def build_fleet_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--store", default=None,
-            help="result-store path (default results/fleet/<name>.jsonl)",
+            help=(
+                "result-store path (default results/fleet/<name>.jsonl; "
+                "a non-.jsonl suffix opens the SQLite backend)"
+            ),
         )
 
     run = sub.add_parser("run", help="run (or resume) a campaign")
@@ -571,9 +584,12 @@ def _fleet_command(argv: List[str]) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from .service.store import open_result_store
+
     store = args.store or default_store_path(spec)
+    store_backend = open_result_store(store)
     if args.command == "status":
-        status = campaign_status(spec, store)
+        status = campaign_status(spec, store_backend)
         print(f"store   : {store}")
         print(f"done    : {status['done']}/{status['total']}")
         for line in status["pending"]:
@@ -584,7 +600,7 @@ def _fleet_command(argv: List[str]) -> int:
 
     report = run_campaign(
         spec,
-        store=store,
+        store=store_backend,
         jobs=args.jobs,
         max_jobs=args.max_jobs,
         progress=lambda msg: print(msg, file=sys.stderr),
@@ -641,6 +657,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .devtools.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "submit":
+        from .service.cli import submit_main
+
+        return submit_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        from .service.cli import jobs_main
+
+        return jobs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print(_list_experiments())

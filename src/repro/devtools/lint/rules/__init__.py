@@ -8,7 +8,9 @@ grouped by the invariant family they protect:
   HC007 (both, rebranded for the ``repro.faults`` replay contract);
 * :mod:`contracts` — HC003 (scheduler contract);
 * :mod:`hygiene` — HC004 (mutable defaults), HC005 (swallowed
-  exceptions), HC006 (float equality on time quantities).
+  exceptions), HC006 (float equality on time quantities);
+* :mod:`service` — HC008 (service liveness: no sleep-polling loops, no
+  unjoined non-daemon threads).
 
 To add a rule: subclass :class:`~repro.devtools.lint.engine.Rule` in one
 of these modules (or a new one imported here), decorate it with
@@ -16,6 +18,6 @@ of these modules (or a new one imported here), decorate it with
 ``tests/devtools/test_lint_rules.py`` — see docs/static_analysis.md.
 """
 
-from . import contracts, determinism, hygiene
+from . import contracts, determinism, hygiene, service
 
-__all__ = ["contracts", "determinism", "hygiene"]
+__all__ = ["contracts", "determinism", "hygiene", "service"]

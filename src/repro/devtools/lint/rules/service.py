@@ -1,0 +1,136 @@
+"""Service-liveness rule: HC008 (no sleep-polling, no leaked threads).
+
+The service package is the one place in the repo where real threads and
+real waiting exist, and the two classic ways such code rots are (a) a
+``while ...: time.sleep(...)`` polling loop that cannot be interrupted —
+shutdown then blocks for up to a full poll interval, or forever if the
+condition never flips — and (b) a non-daemon ``threading.Thread`` nobody
+ever joins, which leaks past shutdown and hangs interpreter exit.  HC008
+bans both in ``repro.service`` and points at the sanctioned idiom: block
+on ``Event.wait(timeout)`` / ``Condition.wait`` and join every non-daemon
+thread during shutdown.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..diagnostics import Diagnostic, Severity
+from ..engine import FileContext, Rule, register
+from .common import dotted_chain, terminal_name
+
+__all__ = ["ServiceLivenessRule"]
+
+
+def _is_sleep_call(node: ast.Call) -> bool:
+    chain = dotted_chain(node.func)
+    if chain is not None and chain[-2:] == ("time", "sleep"):
+        return True
+    return chain == ("sleep",)
+
+
+def _is_thread_ctor(node: ast.Call) -> bool:
+    return terminal_name(node.func) == "Thread"
+
+
+def _daemon_kwarg(node: ast.Call) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == "daemon":
+            return kw.value
+    return None
+
+
+@register
+class ServiceLivenessRule(Rule):
+    """HC008: shutdown-event idiom in the service layer.
+
+    * no ``time.sleep`` inside a loop — poll pauses must be
+      ``Event.wait(timeout)`` (or a ``Condition``) so shutdown interrupts
+      them immediately;
+    * every ``threading.Thread`` must either be ``daemon=True`` or be
+      assigned to a name that is ``.join()``-ed somewhere in the module —
+      a non-daemon thread nobody joins outlives shutdown.
+    """
+
+    id = "HC008"
+    name = "service-liveness"
+    severity = Severity.ERROR
+    description = (
+        "no time.sleep polling loops and no unjoined non-daemon threads in "
+        "repro.service; block on Event.wait/Condition.wait and join workers "
+        "on shutdown"
+    )
+    scope = ("repro/service",)
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Diagnostic]:
+        joined = self._joined_names(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.While, ast.For)):
+                yield from self._check_loop(node, ctx)
+            elif isinstance(node, ast.Call) and _is_thread_ctor(node):
+                yield from self._check_thread(node, tree, joined, ctx)
+
+    # ------------------------------------------------------------------
+    # (a) sleep-polling loops
+    # ------------------------------------------------------------------
+    def _check_loop(self, loop: ast.stmt, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call) and _is_sleep_call(node):
+                yield self.diagnostic(
+                    ctx,
+                    node,
+                    "time.sleep inside a loop is an uninterruptible polling "
+                    "idiom; wait on a shutdown Event (event.wait(timeout)) "
+                    "or a Condition instead",
+                )
+
+    # ------------------------------------------------------------------
+    # (b) unjoined non-daemon threads
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _joined_names(tree: ast.Module) -> Set[str]:
+        """Names ``x`` for which ``x.join(...)`` appears anywhere."""
+        joined: Set[str] = set()
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+            ):
+                base = terminal_name(node.func.value)
+                if base is not None:
+                    joined.add(base)
+        return joined
+
+    def _check_thread(
+        self, call: ast.Call, tree: ast.Module, joined: Set[str], ctx: FileContext
+    ) -> Iterator[Diagnostic]:
+        daemon = _daemon_kwarg(call)
+        if isinstance(daemon, ast.Constant) and daemon.value is True:
+            return  # daemon threads may not outlive the process
+        target = self._assignment_target(call, tree)
+        if target is not None and target in joined:
+            return  # non-daemon, but joined somewhere — the sanctioned idiom
+        yield self.diagnostic(
+            ctx,
+            call,
+            "non-daemon Thread is never join()ed in this module; keep a "
+            "reference and join it during shutdown, or pass daemon=True",
+        )
+
+    @staticmethod
+    def _assignment_target(call: ast.Call, tree: ast.Module) -> Optional[str]:
+        """The simple name this Thread(...) call is assigned to, if any.
+
+        Covers ``t = Thread(...)`` and ``self.x = Thread(...)`` (terminal
+        attribute name).  Threads created and ``.start()``-ed inline have
+        no name to join, so they always need ``daemon=True``.
+        """
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and node.value is call:
+                for tgt in node.targets:
+                    name = terminal_name(tgt)
+                    if name is not None:
+                        return name
+        return None

@@ -13,9 +13,26 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Protocol, Union, runtime_checkable
 
-__all__ = ["ResultStore"]
+__all__ = ["ResultStore", "SupportsResultStore"]
+
+
+@runtime_checkable
+class SupportsResultStore(Protocol):
+    """What the campaign engine needs from a result store.
+
+    Satisfied by the JSONL :class:`ResultStore` below and by
+    :class:`repro.service.store.SqliteResultStore` — the engine only ever
+    appends finished records and asks which job ids are already done, so
+    any durable keyed store can back a campaign.
+    """
+
+    def append(self, record: Dict[str, object]) -> None: ...
+
+    def records(self) -> List[Dict[str, object]]: ...
+
+    def job_ids(self) -> Dict[str, Dict[str, object]]: ...
 
 
 class ResultStore:
@@ -35,22 +52,40 @@ class ResultStore:
         partially flushed predecessor supersedes it), though the engine
         never appends a job id twice in normal operation.
         """
+        from ..obs.log import warn
+
         if self.path is None:
             raw: Iterator[str] = iter([json.dumps(r) for r in self._memory])
         else:
             if not self.path.exists():
                 return []
             raw = iter(self.path.read_text().splitlines())
+        where = "<memory>" if self.path is None else str(self.path)
         by_id: Dict[str, Dict[str, object]] = {}
-        for line in raw:
+        for lineno, line in enumerate(raw, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn tail of an interrupted append
+                # Torn tail of an interrupted append: recoverable by
+                # construction, but never silent — the warning is what
+                # tells an operator a writer died mid-record.
+                warn(
+                    "store.torn_line",
+                    "skipping torn/corrupt JSONL record",
+                    store=where,
+                    line=lineno,
+                )
+                continue
             if not isinstance(record, dict) or "job_id" not in record:
+                warn(
+                    "store.bad_record",
+                    "skipping record without a job_id",
+                    store=where,
+                    line=lineno,
+                )
                 continue
             by_id[str(record["job_id"])] = record
         return list(by_id.values())

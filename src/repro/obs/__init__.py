@@ -46,6 +46,7 @@ from .export import (
     validate_chrome_trace,
 )
 from .invariants import INVARIANTS, Violation, check_recording
+from .log import LOGGER_NAME, get_logger, warn
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import Recorder
 from .reduce import (
@@ -77,6 +78,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "LOGGER_NAME",
+    "get_logger",
+    "warn",
     "Violation",
     "INVARIANTS",
     "check_recording",

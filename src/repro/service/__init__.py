@@ -1,0 +1,50 @@
+"""HCPerf-as-a-service: a job-queue server over the fleet engine.
+
+Everything else in the repo is a one-shot CLI; this package is the
+long-running half the ROADMAP's multi-tenant north star needs.  A single
+``hcperf serve`` process accepts *campaign*, *fault* and *trace* jobs as
+JSON over HTTP, orders them in a priority queue, executes them on the
+existing fleet worker pool, and persists jobs, results and progress
+events in one SQLite file (WAL mode) — a durable session that survives
+crashes and SIGKILL: restart the server on the same store and unfinished
+work resumes without recomputing any completed content-hashed fleet job.
+
+``store``    SQLite/WAL session store (jobs, results, events) satisfying
+             the fleet engine's result-store interface, plus the
+             JSONL → SQLite migration;
+``jobs``     the submittable job model (content-hashed ids) and the
+             execution handlers;
+``queue``    priority queue + worker threads with durable state
+             transitions, idempotent resubmission and graceful draining;
+``api``      pure request routing (testable without sockets);
+``server``   the stdlib ``ThreadingHTTPServer`` shell;
+``cli``      ``hcperf serve | submit | jobs``.
+
+See docs/service.md for the API reference and the store schema.
+"""
+
+from .api import ServiceApi
+from .jobs import JOB_KINDS, ServiceJob, execute_service_job, service_job_id
+from .queue import JobQueue, SubmitOutcome
+from .server import HCPerfService
+from .store import (
+    JOB_STATES,
+    SqliteResultStore,
+    migrate_jsonl_to_sqlite,
+    open_result_store,
+)
+
+__all__ = [
+    "JOB_KINDS",
+    "JOB_STATES",
+    "HCPerfService",
+    "JobQueue",
+    "ServiceApi",
+    "ServiceJob",
+    "SqliteResultStore",
+    "SubmitOutcome",
+    "execute_service_job",
+    "migrate_jsonl_to_sqlite",
+    "open_result_store",
+    "service_job_id",
+]

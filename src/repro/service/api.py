@@ -1,0 +1,213 @@
+"""HTTP-agnostic request routing for the service.
+
+:class:`ServiceApi` maps ``(method, path, query, body)`` onto the queue
+and store and returns ``(status, payload, content_type)``.  Keeping the
+routing pure — no sockets, no threads — means every endpoint is testable
+as a function call, and :mod:`repro.service.server` stays a thin
+byte-shoveling shell around it.
+
+Endpoints
+---------
+``POST   /jobs``                submit ``{kind, payload, priority}``
+``GET    /jobs``                list jobs (``?state=queued`` filters)
+``GET    /jobs/{id}``           one job's state row
+``GET    /jobs/{id}/events``    progress events (``?after=SEQ`` cursor)
+``GET    /jobs/{id}/trace``     trace-job recording export
+``GET    /results/{id}``        a finished job's result payload
+``DELETE /jobs/{id}``           cancel a queued job
+``GET    /metrics``             obs counters/gauges (``?format=text``)
+``GET    /healthz``             liveness probe
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..obs.metrics import MetricsRegistry
+from .jobs import ServiceJob
+from .queue import JobQueue
+from .store import SqliteResultStore
+
+__all__ = ["ApiResponse", "ServiceApi"]
+
+#: (HTTP status, payload — dict → JSON, str → verbatim text, content type)
+ApiResponse = Tuple[int, Union[Dict[str, Any], str], str]
+
+_JSON = "application/json"
+_TEXT = "text/plain; charset=utf-8"
+
+
+def _json_response(status: int, payload: Dict[str, Any]) -> ApiResponse:
+    return status, payload, _JSON
+
+
+def _error(status: int, message: str) -> ApiResponse:
+    return status, {"error": message}, _JSON
+
+
+class ServiceApi:
+    """Route table over one queue/store/metrics triple."""
+
+    def __init__(
+        self, queue: JobQueue, store: SqliteResultStore, metrics: MetricsRegistry
+    ) -> None:
+        self.queue = queue
+        self.store = store
+        self.metrics = metrics
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def handle(
+        self,
+        method: str,
+        path: str,
+        query: Optional[Mapping[str, str]] = None,
+        body: Optional[bytes] = None,
+    ) -> ApiResponse:
+        query = dict(query or {})
+        parts = [p for p in path.split("/") if p]
+        try:
+            return self._route(method.upper(), parts, query, body)
+        except (KeyError, ValueError) as exc:
+            # Routing-level errors are client errors; anything else is a
+            # genuine 500 the server layer reports.
+            return _error(400, str(exc))
+
+    def _route(
+        self,
+        method: str,
+        parts: List[str],
+        query: Dict[str, str],
+        body: Optional[bytes],
+    ) -> ApiResponse:
+        if parts == ["healthz"] and method == "GET":
+            return _json_response(200, {"ok": True})
+        if parts == ["metrics"] and method == "GET":
+            return self._metrics(query)
+        if parts and parts[0] == "jobs":
+            if len(parts) == 1:
+                if method == "POST":
+                    return self._submit(body)
+                if method == "GET":
+                    return self._list_jobs(query)
+                return _error(405, f"{method} not allowed on /jobs")
+            job_id = parts[1]
+            if len(parts) == 2:
+                if method == "GET":
+                    return self._get_job(job_id)
+                if method == "DELETE":
+                    return self._cancel(job_id)
+                return _error(405, f"{method} not allowed on /jobs/{{id}}")
+            if len(parts) == 3 and method == "GET":
+                if parts[2] == "events":
+                    return self._events(job_id, query)
+                if parts[2] == "trace":
+                    return self._trace(job_id, query)
+        if parts and parts[0] == "results" and len(parts) == 2 and method == "GET":
+            return self._result(parts[1])
+        return _error(404, f"no such endpoint: {method} /{'/'.join(parts)}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _submit(self, body: Optional[bytes]) -> ApiResponse:
+        if not body:
+            return _error(400, "POST /jobs needs a JSON body")
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return _error(400, f"malformed JSON body: {exc}")
+        if not isinstance(data, dict):
+            return _error(400, "job body must be a JSON object")
+        try:
+            job = ServiceJob.from_dict(data)
+            outcome = self.queue.submit(job)
+        except (ValueError, RuntimeError) as exc:
+            return _error(400, str(exc))
+        row = self.store.get_job(outcome.job_id)
+        payload = outcome.to_dict()
+        if row is not None:
+            payload["job"] = row
+        return _json_response(200 if outcome.deduped else 202, payload)
+
+    def _list_jobs(self, query: Dict[str, str]) -> ApiResponse:
+        state = query.get("state")
+        jobs = self.store.list_jobs(state=state)
+        return _json_response(200, {"jobs": jobs, "count": len(jobs)})
+
+    def _get_job(self, job_id: str) -> ApiResponse:
+        row = self.store.get_job(job_id)
+        if row is None:
+            return _error(404, f"unknown job {job_id}")
+        return _json_response(200, row)
+
+    def _cancel(self, job_id: str) -> ApiResponse:
+        try:
+            cancelled = self.queue.cancel(job_id)
+        except KeyError:
+            return _error(404, f"unknown job {job_id}")
+        if not cancelled:
+            row = self.store.get_job(job_id)
+            state = row["state"] if row is not None else "unknown"
+            return _error(409, f"job {job_id} is {state}; only queued jobs cancel")
+        return _json_response(200, {"job_id": job_id, "state": "cancelled"})
+
+    def _events(self, job_id: str, query: Dict[str, str]) -> ApiResponse:
+        if self.store.get_job(job_id) is None:
+            return _error(404, f"unknown job {job_id}")
+        after = int(query.get("after", 0))
+        limit = int(query["limit"]) if "limit" in query else None
+        events = self.store.events(job_id, after=after, limit=limit)
+        next_after = events[-1]["seq"] if events else after
+        return _json_response(
+            200, {"job_id": job_id, "events": events, "next_after": next_after}
+        )
+
+    def _result(self, job_id: str) -> ApiResponse:
+        row = self.store.get_job(job_id)
+        if row is None:
+            return _error(404, f"unknown job {job_id}")
+        if row["state"] != "done":
+            return _error(409, f"job {job_id} is {row['state']}; no result yet")
+        record = self.store.get_result(job_id)
+        if record is None:  # done without a record would be a store bug
+            return _error(500, f"job {job_id} is done but has no stored result")
+        return _json_response(
+            200, {"job_id": job_id, "kind": row["kind"], "result": record["result"]}
+        )
+
+    def _trace(self, job_id: str, query: Dict[str, str]) -> ApiResponse:
+        """Export a finished trace job's recording over HTTP."""
+        from ..obs.export import summary_text, to_chrome_trace, to_jsonl
+        from ..obs.recorder import Recorder
+
+        row = self.store.get_job(job_id)
+        if row is None:
+            return _error(404, f"unknown job {job_id}")
+        if row["kind"] != "trace":
+            return _error(409, f"job {job_id} is a {row['kind']} job, not a trace")
+        if row["state"] != "done":
+            return _error(409, f"job {job_id} is {row['state']}; no recording yet")
+        record = self.store.get_result(job_id)
+        if record is None:
+            return _error(500, f"job {job_id} is done but has no stored result")
+        recording = record["result"]["recording"]
+        fmt = query.get("format", "chrome")
+        recorder = Recorder.from_dict(recording)
+        if fmt == "chrome":
+            return _json_response(200, to_chrome_trace(recorder))
+        if fmt == "jsonl":
+            return 200, to_jsonl(recorder), _TEXT
+        if fmt == "summary":
+            return 200, summary_text(recorder) + "\n", _TEXT
+        return _error(400, f"unknown trace format {fmt!r} (chrome|jsonl|summary)")
+
+    def _metrics(self, query: Dict[str, str]) -> ApiResponse:
+        fmt = query.get("format", "json")
+        if fmt == "text":
+            return 200, self.metrics.render_text() + "\n", _TEXT
+        if fmt == "json":
+            return _json_response(200, {"metrics": self.metrics.to_dict()})
+        return _error(400, f"unknown metrics format {fmt!r} (json|text)")

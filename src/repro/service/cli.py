@@ -1,0 +1,338 @@
+"""CLI verbs for the service: ``hcperf serve | submit | jobs``.
+
+``serve`` runs the long-lived server in the foreground (SIGTERM/SIGINT
+stop it gracefully; in-flight jobs finish, queued jobs persist in the
+store and resume on the next start).  ``submit`` and ``jobs`` are thin
+stdlib HTTP clients over the API in :mod:`repro.service.api` — no
+third-party dependency on either side of the socket.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["serve_main", "submit_main", "jobs_main"]
+
+DEFAULT_URL = "http://127.0.0.1:8008"
+DEFAULT_STORE = "results/service/hcperf.sqlite"
+
+
+# ----------------------------------------------------------------------
+# HTTP client plumbing
+# ----------------------------------------------------------------------
+def request_json(
+    method: str, url: str, body: Optional[Dict[str, Any]] = None
+) -> Tuple[int, Dict[str, Any]]:
+    """One JSON request/response round trip; HTTP errors return their body."""
+    raw = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(url, data=raw, method=method)
+    if raw is not None:
+        req.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(req) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        try:
+            payload = json.loads(detail)
+        except json.JSONDecodeError:
+            payload = {"error": detail.strip() or exc.reason}
+        return exc.code, payload
+
+
+def _client_error(status: int, payload: Dict[str, Any]) -> int:
+    print(f"error ({status}): {payload.get('error', payload)}", file=sys.stderr)
+    return 2
+
+
+def wait_for_job(
+    url: str, job_id: str, interval: float = 0.2, timeout: Optional[float] = None
+) -> Dict[str, Any]:
+    """Poll a job's events to completion, echoing progress to stderr.
+
+    Returns the final job row.  Raises ``TimeoutError`` if ``timeout``
+    elapses first.  The poll pause is an ``Event.wait`` so Ctrl-C
+    interrupts immediately (and hclint HC008 stays clean).
+    """
+    pause = threading.Event()
+    waited = 0.0
+    after = 0
+    while True:
+        status, events = request_json(
+            "GET", f"{url}/jobs/{job_id}/events?after={after}"
+        )
+        if status == 200:
+            for event in events["events"]:
+                payload = event["payload"]
+                text = payload.get("message") or payload.get("state") or ""
+                print(f"[{job_id}] {event['kind']}: {text}", file=sys.stderr)
+            after = events["next_after"]
+        status, row = request_json("GET", f"{url}/jobs/{job_id}")
+        if status != 200:
+            raise RuntimeError(f"job {job_id} vanished: {row}")
+        if row["state"] in ("done", "failed", "cancelled"):
+            return row
+        if timeout is not None and waited >= timeout:
+            raise TimeoutError(f"job {job_id} still {row['state']} after {timeout}s")
+        pause.wait(interval)
+        waited += interval
+
+
+# ----------------------------------------------------------------------
+# hcperf serve
+# ----------------------------------------------------------------------
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hcperf serve",
+        description=(
+            "Run the HCPerf job service: accepts campaign/fault/trace jobs "
+            "over HTTP, executes them on the fleet worker pool, and "
+            "persists everything in a durable SQLite store (see "
+            "docs/service.md)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8008, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"SQLite session store path (default {DEFAULT_STORE})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="concurrent service jobs (threads)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="fleet worker processes per campaign job (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--port-file",
+        default=None,
+        help="write the bound port to this file once listening",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr"
+    )
+    return parser
+
+
+def serve_main(argv: List[str]) -> int:
+    from .server import HCPerfService
+
+    args = build_serve_parser().parse_args(argv)
+    service = HCPerfService(
+        store=args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        fleet_jobs=args.jobs,
+        quiet=not args.verbose,
+    )
+    service.start()
+    if args.port_file:
+        Path(args.port_file).write_text(f"{service.port}\n")
+    print(
+        f"hcperf service listening on {service.url} "
+        f"(store {args.store}, {args.workers} workers, "
+        f"{args.jobs} fleet jobs/campaign)",
+        file=sys.stderr,
+        flush=True,
+    )
+    service.run_forever()
+    print("hcperf service stopped", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# hcperf submit
+# ----------------------------------------------------------------------
+def build_submit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hcperf submit",
+        description="Submit one job to a running hcperf service.",
+    )
+    parser.add_argument("--url", default=DEFAULT_URL, help="service base URL")
+    parser.add_argument("--priority", type=int, default=0, help="queue priority")
+    parser.add_argument(
+        "--wait", action="store_true", help="poll events until the job finishes"
+    )
+    parser.add_argument(
+        "--poll", type=float, default=0.2, help="poll interval with --wait (s)"
+    )
+    sub = parser.add_subparsers(dest="kind", required=True)
+
+    campaign = sub.add_parser("campaign", help="submit a fleet campaign spec")
+    campaign.add_argument(
+        "spec", help="campaign spec: a JSON file path or an inline JSON object"
+    )
+
+    fault = sub.add_parser("fault", help="submit one fault resilience run")
+    fault.add_argument("scenario")
+    fault.add_argument("scheduler")
+    fault.add_argument(
+        "--spec", required=True, help="fault spec: named suite entry or JSON file"
+    )
+    fault.add_argument("--seed", type=int, default=0)
+    fault.add_argument("--horizon", type=float, default=None)
+
+    trace = sub.add_parser("trace", help="submit one recorded trace run")
+    trace.add_argument("scenario")
+    trace.add_argument("--scheduler", default="HCPerf")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--horizon", type=float, default=None)
+    return parser
+
+
+def _submit_payload(args: argparse.Namespace) -> Dict[str, Any]:
+    if args.kind == "campaign":
+        if Path(args.spec).exists():
+            payload = json.loads(Path(args.spec).read_text())
+        else:
+            payload = json.loads(args.spec)
+        if not isinstance(payload, dict):
+            raise ValueError("campaign spec must be a JSON object")
+        return payload
+    payload = {"scenario": args.scenario, "seed": args.seed}
+    if args.horizon is not None:
+        payload["horizon"] = args.horizon
+    payload["scheduler"] = args.scheduler
+    if args.kind == "fault":
+        spec_path = Path(args.spec)
+        payload["spec"] = (
+            json.loads(spec_path.read_text()) if spec_path.exists() else args.spec
+        )
+    return payload
+
+
+def submit_main(argv: List[str]) -> int:
+    args = build_submit_parser().parse_args(argv)
+    try:
+        payload = _submit_payload(args)
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    status, reply = request_json(
+        "POST",
+        f"{args.url}/jobs",
+        {"kind": args.kind, "payload": payload, "priority": args.priority},
+    )
+    if status not in (200, 202):
+        return _client_error(status, reply)
+    job_id = reply["job_id"]
+    dedup = " (deduplicated)" if reply.get("deduped") else ""
+    print(f"submitted {args.kind} job {job_id}: {reply['state']}{dedup}", file=sys.stderr)
+    if not args.wait:
+        print(job_id)
+        return 0
+    row = wait_for_job(args.url, job_id, interval=args.poll)
+    print(f"job {job_id} finished: {row['state']}", file=sys.stderr)
+    if row["state"] != "done":
+        if row.get("error"):
+            print(f"error: {row['error']}", file=sys.stderr)
+        return 1
+    status, result = request_json("GET", f"{args.url}/results/{job_id}")
+    if status != 200:
+        return _client_error(status, result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# hcperf jobs
+# ----------------------------------------------------------------------
+def build_jobs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hcperf jobs",
+        description="Inspect and manage jobs on a running hcperf service.",
+    )
+    parser.add_argument("--url", default=DEFAULT_URL, help="service base URL")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lst = sub.add_parser("list", help="list jobs")
+    lst.add_argument(
+        "--state",
+        default=None,
+        choices=("queued", "running", "done", "failed", "cancelled"),
+    )
+
+    show = sub.add_parser("show", help="one job's state")
+    show.add_argument("job_id")
+
+    events = sub.add_parser("events", help="a job's progress events")
+    events.add_argument("job_id")
+    events.add_argument("--after", type=int, default=0, help="event-seq cursor")
+
+    result = sub.add_parser("result", help="a finished job's result payload")
+    result.add_argument("job_id")
+    result.add_argument("-o", "--out", default=None, help="write JSON here, not stdout")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job_id")
+
+    sub.add_parser("metrics", help="service counters and gauges")
+    return parser
+
+
+def jobs_main(argv: List[str]) -> int:
+    args = build_jobs_parser().parse_args(argv)
+    if args.command == "list":
+        suffix = f"?state={args.state}" if args.state else ""
+        status, reply = request_json("GET", f"{args.url}/jobs{suffix}")
+        if status != 200:
+            return _client_error(status, reply)
+        for row in reply["jobs"]:
+            print(
+                f"{row['job_id']}  {row['state']:9s} prio={row['priority']:<3d} "
+                f"{row['kind']}"
+            )
+        print(f"{reply['count']} job(s)", file=sys.stderr)
+        return 0
+    if args.command == "show":
+        status, reply = request_json("GET", f"{args.url}/jobs/{args.job_id}")
+        if status != 200:
+            return _client_error(status, reply)
+        print(json.dumps(reply, indent=2, sort_keys=True))
+        return 0
+    if args.command == "events":
+        status, reply = request_json(
+            "GET", f"{args.url}/jobs/{args.job_id}/events?after={args.after}"
+        )
+        if status != 200:
+            return _client_error(status, reply)
+        for event in reply["events"]:
+            print(f"{event['seq']:6d}  {event['kind']:9s} {json.dumps(event['payload'])}")
+        return 0
+    if args.command == "result":
+        status, reply = request_json("GET", f"{args.url}/results/{args.job_id}")
+        if status != 200:
+            return _client_error(status, reply)
+        text = json.dumps(reply, indent=2, sort_keys=True)
+        if args.out:
+            Path(args.out).write_text(text + "\n")
+            print(f"wrote result -> {args.out}", file=sys.stderr)
+        else:
+            print(text)
+        return 0
+    if args.command == "cancel":
+        status, reply = request_json("DELETE", f"{args.url}/jobs/{args.job_id}")
+        if status != 200:
+            return _client_error(status, reply)
+        print(f"cancelled {args.job_id}")
+        return 0
+    # metrics
+    status, reply = request_json("GET", f"{args.url}/metrics")
+    if status != 200:
+        return _client_error(status, reply)
+    print(json.dumps(reply["metrics"], indent=2, sort_keys=True))
+    return 0

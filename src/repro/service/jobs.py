@@ -1,0 +1,245 @@
+"""Service job model: what clients submit and how the service runs it.
+
+A :class:`ServiceJob` is one unit of queued work — a whole fleet
+*campaign*, a *fault* resilience run, or a *trace* recording run — named
+by a content hash over ``(kind, payload)`` exactly like fleet jobs are
+named by :func:`repro.fleet.manifest.job_id`.  Content addressing is what
+makes resubmission idempotent: POSTing the same JSON twice is the same
+job, and a completed job's result is served from the store without
+re-execution.
+
+``execute_service_job`` is the single execution entry point the queue
+workers call.  Campaign jobs run on the existing fleet engine against the
+service's durable store, so a half-finished campaign killed with the
+server resumes from the store on resubmission — completed content-hashed
+fleet cells are never recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..fleet.engine import run_campaign
+from ..fleet.manifest import build_manifest
+from ..fleet.spec import CampaignSpec
+from ..fleet.store import SupportsResultStore
+
+__all__ = ["JOB_KINDS", "ServiceJob", "service_job_id", "execute_service_job"]
+
+#: Submittable job kinds and what their payloads mean.
+JOB_KINDS = {
+    "campaign": "a repro.fleet CampaignSpec dict, run on the fleet engine",
+    "fault": "one scenario/scheduler/fault-spec resilience run",
+    "trace": "one recorded run: full event stream + invariant verdict",
+}
+
+#: Progress sink: ``emit(kind, payload)`` appends one event to the store.
+EmitFn = Callable[[str, Dict[str, Any]], None]
+
+
+def service_job_id(kind: str, payload: Dict[str, Any]) -> str:
+    """Stable 16-hex-digit content hash of one service job.
+
+    Same recipe as :func:`repro.fleet.manifest.job_id` — canonical JSON
+    over the defining fields — so equal submissions collide by
+    construction, on any machine.
+    """
+    body = json.dumps(
+        {"kind": kind, "payload": payload}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class ServiceJob:
+    """One submitted unit of work."""
+
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {self.kind!r}; supported: {sorted(JOB_KINDS)}"
+            )
+        if not isinstance(self.payload, dict):
+            raise ValueError("job payload must be a JSON object")
+        self.priority = int(self.priority)
+
+    @property
+    def id(self) -> str:
+        return service_job_id(self.kind, self.payload)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "payload": dict(self.payload), "priority": self.priority}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceJob":
+        unknown = sorted(set(data) - {"kind", "payload", "priority"})
+        if unknown:
+            raise ValueError(
+                f"unknown job fields {unknown}; supported: kind, payload, priority"
+            )
+        if "kind" not in data:
+            raise ValueError("job needs a kind")
+        return cls(
+            kind=str(data["kind"]),
+            payload=dict(data.get("payload", {})),
+            priority=int(data.get("priority", 0)),
+        )
+
+    # ------------------------------------------------------------------
+    # Validation (registry checks, before the job enters the queue)
+    # ------------------------------------------------------------------
+    def validate(self) -> "ServiceJob":
+        """Raise ``ValueError`` on payloads that could never execute."""
+        if self.kind == "campaign":
+            CampaignSpec.from_dict(self.payload).validate()
+        else:
+            self._run_payload()  # resolves scenario/scheduler/spec names
+        return self
+
+    def _run_payload(self) -> Dict[str, Any]:
+        """Normalize a fault/trace payload, resolving registry names."""
+        from ..cli import SCENARIO_ALIASES, _resolve_scheduler_name
+        from ..workloads import SCENARIOS
+
+        known = {"scenario", "scheduler", "seed", "horizon"}
+        if self.kind == "fault":
+            known.add("spec")
+        unknown = sorted(set(self.payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown {self.kind} payload fields {unknown}; supported: {sorted(known)}"
+            )
+        scenario = str(self.payload.get("scenario", ""))
+        scenario = SCENARIO_ALIASES.get(scenario, scenario)
+        if scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {scenario!r}; available: {sorted(SCENARIOS)}"
+            )
+        out: Dict[str, Any] = {
+            "scenario": scenario,
+            "scheduler": _resolve_scheduler_name(
+                str(self.payload.get("scheduler", "HCPerf"))
+            ),
+            "seed": int(self.payload.get("seed", 0)),
+            "horizon": self.payload.get("horizon"),
+        }
+        if self.kind == "fault":
+            if "spec" not in self.payload:
+                raise ValueError("fault job payload needs a 'spec' (name or inline dict)")
+            out["spec"] = self.payload["spec"]
+        return out
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _resolve_fault_spec(entry: Any) -> Any:
+    from ..faults.spec import FaultSpec
+    from ..faults.suite import get_spec
+
+    if isinstance(entry, str):
+        return get_spec(entry)
+    return FaultSpec.from_dict(entry)
+
+
+def _scenario_factory(scenario: str, horizon: Optional[float]) -> Callable[[], Any]:
+    from ..workloads import SCENARIOS
+
+    factory = SCENARIOS[scenario]
+    if horizon is None:
+        return factory
+    return lambda: factory(horizon=float(horizon))
+
+
+def campaign_records(
+    spec: CampaignSpec, store: SupportsResultStore
+) -> List[Dict[str, Any]]:
+    """The campaign's stored records in deterministic manifest order.
+
+    This — not store insertion order — is the byte-identity surface: two
+    runs of the same spec (service or offline, any worker count, killed
+    and resumed or not) assemble the identical list.
+    """
+    done = store.job_ids()
+    return [done[job.id] for job in build_manifest(spec) if job.id in done]
+
+
+def _execute_campaign(
+    job: ServiceJob, store: SupportsResultStore, emit: EmitFn, fleet_jobs: int
+) -> Dict[str, Any]:
+    spec = CampaignSpec.from_dict(job.payload)
+
+    def progress(message: str) -> None:
+        emit("progress", {"message": message})
+
+    report = run_campaign(spec, store=store, jobs=fleet_jobs, progress=progress)
+    records = campaign_records(spec, store)
+    return {
+        "kind": "campaign",
+        "spec": spec.to_dict(),
+        "total": report.total,
+        "executed": report.executed,
+        "resumed": report.skipped,
+        "complete": report.complete,
+        "job_ids": [r["job_id"] for r in records],
+        "records": records,
+    }
+
+
+def _execute_fault(job: ServiceJob, emit: EmitFn) -> Dict[str, Any]:
+    from ..faults.resilience import run_resilience
+
+    payload = job._run_payload()
+    emit("progress", {"message": f"fault run: {payload['scenario']}/{payload['scheduler']}"})
+    report = run_resilience(
+        _scenario_factory(payload["scenario"], payload["horizon"]),
+        payload["scheduler"],
+        _resolve_fault_spec(payload["spec"]),
+        seed=payload["seed"],
+    )
+    return {"kind": "fault", "report": report.to_dict()}
+
+
+def _execute_trace(job: ServiceJob, emit: EmitFn) -> Dict[str, Any]:
+    from ..experiments.runner import run_scenario
+    from ..obs.invariants import check_recording
+    from ..obs.recorder import Recorder
+
+    payload = job._run_payload()
+    emit("progress", {"message": f"trace run: {payload['scenario']}/{payload['scheduler']}"})
+    scenario = _scenario_factory(payload["scenario"], payload["horizon"])()
+    recorder = Recorder()
+    result = run_scenario(
+        scenario, payload["scheduler"], seed=payload["seed"], recorder=recorder
+    )
+    violations = check_recording(recorder)
+    return {
+        "kind": "trace",
+        "summary": result.to_dict(),
+        "recording": recorder.to_dict(),
+        "violations": [str(v) for v in violations],
+        "sound": not violations,
+    }
+
+
+def execute_service_job(
+    job: ServiceJob,
+    store: SupportsResultStore,
+    emit: EmitFn,
+    fleet_jobs: int = 1,
+) -> Dict[str, Any]:
+    """Run one service job to completion and return its result payload."""
+    if job.kind == "campaign":
+        return _execute_campaign(job, store, emit, fleet_jobs)
+    if job.kind == "fault":
+        return _execute_fault(job, emit)
+    if job.kind == "trace":
+        return _execute_trace(job, emit)
+    raise ValueError(f"unknown job kind {job.kind!r}")  # pragma: no cover

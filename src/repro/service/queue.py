@@ -1,0 +1,275 @@
+"""Priority job queue executing service jobs on worker threads.
+
+The queue is the service's one source of truth for *liveness*; the store
+is the source of truth for *state*.  Every transition (queued → running →
+done/failed, cancellation, resubmission) is committed to the store before
+it is observable through the API, so a SIGKILL at any instant leaves a
+store a restarted service can resume from: ``requeue_pending`` re-enqueues
+whatever was queued or mid-flight.
+
+Scheduling: strictly highest priority first, FIFO within a priority
+(ties broken by submission sequence).  Idempotency: a job is its content
+hash, so resubmitting JSON the service already completed returns the
+stored result without re-execution; resubmitting a failed or cancelled
+job re-enqueues it.
+
+Liveness discipline (enforced repo-wide by hclint HC008): no
+``time.sleep`` polling — workers block on a ``Condition`` and shutdown is
+an ``Event`` — and the non-daemon worker threads are always joined by
+:meth:`shutdown`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import traceback
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..obs.log import warn
+from ..obs.metrics import MetricsRegistry
+from .jobs import ServiceJob, execute_service_job
+from .store import SqliteResultStore
+
+__all__ = ["JobQueue", "SubmitOutcome"]
+
+#: Heap entry: (-priority, submission sequence, job id).
+_HeapItem = Tuple[int, int, str]
+
+
+class SubmitOutcome:
+    """What one ``submit`` call did: the job's id, state, and dedup flag."""
+
+    def __init__(self, job_id: str, state: str, deduped: bool) -> None:
+        self.job_id = job_id
+        self.state = state
+        self.deduped = deduped
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"job_id": self.job_id, "state": self.state, "deduped": self.deduped}
+
+
+class JobQueue:
+    """Durable priority queue over ``workers`` executor threads.
+
+    Parameters
+    ----------
+    store:
+        The session's :class:`SqliteResultStore` (jobs/results/events).
+    workers:
+        Concurrent service jobs (queue consumer threads).
+    fleet_jobs:
+        Worker *processes* each campaign job may shard across — the
+        existing fleet pool, nested under a queue worker.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` the queue
+        keeps its counters/gauges in (``/metrics`` serves it).
+    """
+
+    def __init__(
+        self,
+        store: SqliteResultStore,
+        workers: int = 2,
+        fleet_jobs: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if fleet_jobs < 1:
+            raise ValueError("fleet_jobs must be >= 1")
+        self.store = store
+        self.workers = workers
+        self.fleet_jobs = fleet_jobs
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._cond = threading.Condition()
+        self._heap: List[_HeapItem] = []
+        self._seq = 0
+        self._cancelled: Set[str] = set()
+        self._running: Set[str] = set()
+        self._threads: List[threading.Thread] = []
+        self._shutdown = threading.Event()
+        self._drain = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Requeue unfinished store jobs and start the worker threads.
+
+        Returns the number of jobs resumed from the store.
+        """
+        if self._threads:
+            raise RuntimeError("queue already started")
+        requeued = self.requeue_pending()
+        for i in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker, name=f"hcperf-worker-{i}", daemon=False
+            )
+            thread.start()
+            self._threads.append(thread)
+        return requeued
+
+    def requeue_pending(self) -> int:
+        """Re-enqueue every queued/running store job (crash recovery)."""
+        requeued = 0
+        for row in self.store.pending_jobs():
+            if row["state"] == "running":
+                # The previous process died mid-job; its partial fleet
+                # results are in the store, so re-running resumes cheaply.
+                self.store.set_job_state(row["job_id"], "queued")
+                self.store.add_event(
+                    row["job_id"], "state", {"state": "queued", "reason": "requeued"}
+                )
+            self._push(row["job_id"], row["priority"])
+            requeued += 1
+        return requeued
+
+    def shutdown(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop the workers and join every thread.
+
+        ``drain=True`` finishes everything queued first; ``drain=False``
+        finishes only the jobs already running — the rest stay ``queued``
+        in the store and run on the next start.
+        """
+        with self._cond:
+            self._drain = drain
+            self._shutdown.set()
+            self._cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads = [t for t in self._threads if t.is_alive()]
+
+    def join_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no job is running."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._heap and not self._running, timeout=timeout
+            )
+
+    # ------------------------------------------------------------------
+    # Submission / cancellation
+    # ------------------------------------------------------------------
+    def submit(self, job: ServiceJob) -> SubmitOutcome:
+        """Enqueue a validated job; idempotent on its content hash."""
+        if self._shutdown.is_set():
+            raise RuntimeError("queue is shutting down; not accepting jobs")
+        job.validate()
+        job_id = job.id
+        existing = self.store.get_job(job_id)
+        if existing is not None:
+            state = existing["state"]
+            if state in ("queued", "running"):
+                self._count("service.jobs_deduped")
+                return SubmitOutcome(job_id, state, deduped=True)
+            if state == "done":
+                self._count("service.jobs_deduped")
+                return SubmitOutcome(job_id, "done", deduped=True)
+            # failed / cancelled: fall through and requeue
+        self.store.upsert_job(job_id, job.kind, job.payload, job.priority, "queued")
+        self.store.add_event(job_id, "state", {"state": "queued"})
+        self._count("service.jobs_submitted")
+        self._push(job_id, job.priority)
+        return SubmitOutcome(job_id, "queued", deduped=False)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job.  Running/finished jobs are not cancellable."""
+        row = self.store.get_job(job_id)
+        if row is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        with self._cond:
+            if row["state"] != "queued" or job_id in self._running:
+                return False
+            self._cancelled.add(job_id)
+        self.store.set_job_state(job_id, "cancelled")
+        self.store.add_event(job_id, "state", {"state": "cancelled"})
+        self._count("service.jobs_cancelled")
+        return True
+
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _push(self, job_id: str, priority: int) -> None:
+        with self._cond:
+            self._cancelled.discard(job_id)
+            self._seq += 1
+            heapq.heappush(self._heap, (-int(priority), self._seq, job_id))
+            self.metrics.gauge("service.queue_depth").set(float(len(self._heap)))
+            # notify_all: join_idle waiters share this condition, so a
+            # single notify could wake a waiter instead of a worker.
+            self._cond.notify_all()
+
+    def _count(self, name: str) -> None:
+        self.metrics.counter(name).inc()
+
+    def _next_job(self) -> Optional[str]:
+        """Block for the next runnable job id; ``None`` means exit."""
+        with self._cond:
+            while True:
+                while self._heap:
+                    _, _, job_id = heapq.heappop(self._heap)
+                    self.metrics.gauge("service.queue_depth").set(
+                        float(len(self._heap))
+                    )
+                    if job_id in self._cancelled:
+                        self._cancelled.discard(job_id)
+                        continue
+                    self._running.add(job_id)
+                    return job_id
+                if self._shutdown.is_set():
+                    return None
+                self._cond.wait()
+
+    def _worker(self) -> None:
+        while True:
+            job_id = self._next_job()
+            if job_id is None:
+                return
+            try:
+                self._run_one(job_id)
+            finally:
+                with self._cond:
+                    self._running.discard(job_id)
+                    self.metrics.gauge("service.workers_busy").set(
+                        float(len(self._running))
+                    )
+                    self._cond.notify_all()
+            # Non-draining shutdown: stop between jobs, leave the rest queued.
+            if self._shutdown.is_set() and not self._drain:
+                return
+
+    def _run_one(self, job_id: str) -> None:
+        row = self.store.get_job(job_id)
+        if row is None:  # cancelled-and-vacuumed; nothing to do
+            return
+        job = ServiceJob(kind=row["kind"], payload=row["payload"], priority=row["priority"])
+        self.store.set_job_state(job_id, "running")
+        self.store.add_event(job_id, "state", {"state": "running"})
+        self.metrics.gauge("service.workers_busy").set(float(len(self._running)))
+
+        def emit(kind: str, payload: Dict[str, Any]) -> None:
+            self.store.add_event(job_id, kind, payload)
+            if kind == "progress":
+                self._count("service.progress_events")
+
+        try:
+            result = execute_service_job(
+                job, self.store, emit, fleet_jobs=self.fleet_jobs
+            )
+        except Exception as exc:
+            detail = traceback.format_exc(limit=8)
+            warn("service.job_failed", "service job raised", job=job_id, error=repr(exc))
+            self.store.set_job_state(job_id, "failed", error=repr(exc))
+            self.store.add_event(
+                job_id, "state", {"state": "failed", "error": repr(exc), "detail": detail}
+            )
+            self._count("service.jobs_failed")
+            return
+        self.store.append({"job_id": job_id, "kind": job.kind, "result": result})
+        self.store.set_job_state(job_id, "done")
+        self.store.add_event(job_id, "state", {"state": "done"})
+        self._count("service.jobs_completed")

@@ -1,0 +1,183 @@
+"""The long-running HTTP service: ``hcperf serve``.
+
+:class:`HCPerfService` composes one durable :class:`SqliteResultStore`
+session, a :class:`JobQueue` over the fleet worker pool, and the pure
+:class:`ServiceApi` router, and serves them through a stdlib
+``ThreadingHTTPServer`` — no framework dependency, so tier-1 stays
+hermetic and the server runs anywhere the repo does.
+
+Lifecycle: ``start()`` binds the socket (``port=0`` picks an ephemeral
+port — tests and ``--port-file`` consumers read ``service.port`` back)
+and starts the queue workers; ``stop()`` closes the HTTP listener, drains
+or abandons the queue (abandoned jobs stay ``queued`` in the store and
+resume on the next start), joins every thread, and closes the store.
+``run_forever()`` is the CLI's blocking entry point with SIGTERM/SIGINT
+wired to a graceful stop through a shutdown event — never a polling loop
+(hclint HC008).
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Type, Union
+from urllib.parse import parse_qsl, urlsplit
+
+from ..obs.log import warn
+from ..obs.metrics import MetricsRegistry
+from .api import ServiceApi
+from .queue import JobQueue
+from .store import SqliteResultStore
+
+__all__ = ["HCPerfService"]
+
+
+def _make_handler(api: ServiceApi, quiet: bool) -> Type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        server_version = "hcperf-service/1"
+
+        def log_message(self, format: str, *args: Any) -> None:
+            if not quiet:  # pragma: no cover - stderr chatter only
+                super().log_message(format, *args)
+
+        def _respond(self, body: Optional[bytes] = None) -> None:
+            split = urlsplit(self.path)
+            query = dict(parse_qsl(split.query))
+            try:
+                status, payload, content_type = api.handle(
+                    self.command, split.path, query, body
+                )
+            except Exception as exc:  # an endpoint bug must not kill the server
+                warn("service.request_failed", "unhandled API error", error=repr(exc))
+                status, payload, content_type = (
+                    500,
+                    {"error": f"internal error: {exc!r}"},
+                    "application/json",
+                )
+            if isinstance(payload, str):
+                raw = payload.encode("utf-8")
+            else:
+                raw = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(raw)))
+            self.end_headers()
+            self.wfile.write(raw)
+
+        def do_GET(self) -> None:
+            self._respond()
+
+        def do_DELETE(self) -> None:
+            self._respond()
+
+        def do_POST(self) -> None:
+            length = int(self.headers.get("Content-Length") or 0)
+            self._respond(self.rfile.read(length) if length else None)
+
+    return Handler
+
+
+class HCPerfService:
+    """One service instance: store + queue + API + HTTP listener."""
+
+    def __init__(
+        self,
+        store: Union[SqliteResultStore, str, Path, None] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        fleet_jobs: int = 1,
+        quiet: bool = True,
+    ) -> None:
+        if not isinstance(store, SqliteResultStore):
+            store = SqliteResultStore(store)
+        self.store = store
+        self.metrics = MetricsRegistry()
+        self.queue = JobQueue(
+            store, workers=workers, fleet_jobs=fleet_jobs, metrics=self.metrics
+        )
+        self.api = ServiceApi(self.queue, store, self.metrics)
+        self._host = host
+        self._requested_port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._http_thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._quiet = quiet
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("service not started")
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    def start(self) -> "HCPerfService":
+        """Bind the listener, start queue workers and the HTTP thread."""
+        if self._httpd is not None:
+            raise RuntimeError("service already started")
+        handler = _make_handler(self.api, quiet=self._quiet)
+        self._httpd = ThreadingHTTPServer((self._host, self._requested_port), handler)
+        # Handler threads are per-request and bounded by request lifetime;
+        # daemon keeps a hung client from blocking process exit.
+        self._httpd.daemon_threads = True
+        requeued = self.queue.start()
+        if requeued:
+            warn("service.resume", "resumed unfinished jobs from store", jobs=requeued)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="hcperf-http",
+            daemon=False,
+        )
+        self._http_thread.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: close the listener, drain/join, close store."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join()
+        self.queue.shutdown(drain=drain)
+        self.store.close()
+        self._stopped.set()
+
+    def run_forever(self) -> None:
+        """Block until SIGTERM/SIGINT, then stop gracefully (drain)."""
+        stop_requested = threading.Event()
+
+        def request_stop(signum: int, frame: Any) -> None:
+            stop_requested.set()
+
+        previous: Dict[int, Any] = {}
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            previous[sig] = signal.signal(sig, request_stop)
+        try:
+            # Timed waits, not one unbounded wait: a signal taken on a
+            # non-main thread only runs its Python handler once the main
+            # thread re-enters the eval loop, which an untimed Event.wait
+            # never does.
+            while not stop_requested.wait(0.2):
+                pass
+        finally:
+            for sig, old in previous.items():
+                signal.signal(sig, old)
+            self.stop(drain=False)
+
+    def __enter__(self) -> "HCPerfService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        if not self._stopped.is_set():
+            self.stop()

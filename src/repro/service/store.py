@@ -1,0 +1,303 @@
+"""Durable result stores for the service layer.
+
+The fleet engine only needs :class:`~repro.fleet.store.SupportsResultStore`
+(append finished records, list which job ids are done), so the service can
+swap the append-only JSONL file for a real database without touching the
+engine.  This module provides:
+
+* :class:`SqliteResultStore` — a SQLite store in WAL mode holding three
+  tables: ``jobs`` (service-level jobs and their queue state), ``results``
+  (finished fleet records, keyed by the content hash from
+  :mod:`repro.fleet.manifest`) and ``events`` (an append-only per-job
+  progress log with a monotonically increasing ``seq``).  One file is a
+  whole resumable session: kill the process at any point, reopen the path,
+  and every committed row is still there.
+* :func:`open_result_store` — backend selection by path suffix
+  (``.jsonl`` → the fleet JSONL store, anything else → SQLite).
+* :func:`migrate_jsonl_to_sqlite` — one-shot migration of an existing
+  JSONL campaign store into a SQLite session.
+
+Durability model: every write is its own committed transaction, WAL mode
+keeps readers and the writer from blocking each other across the service's
+worker threads, and ``synchronous=NORMAL`` (the recommended WAL pairing)
+survives process kills — the durability test SIGKILLs a server
+mid-campaign and resumes from this store.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from ..fleet.store import ResultStore, SupportsResultStore
+
+__all__ = [
+    "JOB_STATES",
+    "SqliteResultStore",
+    "open_result_store",
+    "migrate_jsonl_to_sqlite",
+]
+
+#: Legal service-job queue states.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id      TEXT PRIMARY KEY,
+    kind        TEXT NOT NULL,
+    payload     TEXT NOT NULL,
+    priority    INTEGER NOT NULL DEFAULT 0,
+    state       TEXT NOT NULL,
+    error       TEXT,
+    created_seq INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS results (
+    job_id TEXT PRIMARY KEY,
+    record TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS events (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id  TEXT NOT NULL,
+    kind    TEXT NOT NULL,
+    payload TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS events_by_job ON events (job_id, seq);
+"""
+
+
+def _canonical(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class SqliteResultStore:
+    """SQLite/WAL session store: fleet results + service jobs + events.
+
+    The fleet-facing half (``append``/``records``/``job_ids``) satisfies
+    :class:`~repro.fleet.store.SupportsResultStore`, so a campaign can run
+    directly against this store and resume exactly like the JSONL backend.
+    The service-facing half tracks submitted jobs and their progress
+    events.
+
+    ``path=None`` opens an in-memory database (one session, no
+    durability) with the same interface.
+
+    Thread safety: one shared connection guarded by an ``RLock`` — the
+    service's worker threads and HTTP handler threads all funnel through
+    it.  Writes commit immediately, so a reader never sees a half-applied
+    record after a crash.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.RLock()
+        target = str(self.path) if self.path is not None else ":memory:"
+        self._conn = sqlite3.connect(target, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            if self.path is not None:
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "SqliteResultStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    @property
+    def journal_mode(self) -> str:
+        with self._lock:
+            row = self._conn.execute("PRAGMA journal_mode").fetchone()
+        return str(row[0])
+
+    # ------------------------------------------------------------------
+    # Fleet-facing result records (SupportsResultStore)
+    # ------------------------------------------------------------------
+    def append(self, record: Dict[str, object]) -> None:
+        """Insert (or supersede) one finished fleet record, committed."""
+        if "job_id" not in record:
+            raise ValueError("record must carry a job_id")
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results (job_id, record) VALUES (?, ?)",
+                (str(record["job_id"]), _canonical(dict(record))),
+            )
+            self._conn.commit()
+
+    def records(self) -> List[Dict[str, object]]:
+        """Every stored fleet record, in insertion (rowid) order."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT record FROM results ORDER BY rowid"
+            ).fetchall()
+        return [json.loads(row["record"]) for row in rows]
+
+    def job_ids(self) -> Dict[str, Dict[str, object]]:
+        return {str(r["job_id"]): r for r in self.records()}
+
+    def get_result(self, job_id: str) -> Optional[Dict[str, object]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record FROM results WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return json.loads(row["record"]) if row is not None else None
+
+    def __len__(self) -> int:
+        with self._lock:
+            row = self._conn.execute("SELECT COUNT(*) FROM results").fetchone()
+        return int(row[0])
+
+    def __contains__(self, job_id: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return row is not None
+
+    # ------------------------------------------------------------------
+    # Service jobs
+    # ------------------------------------------------------------------
+    def upsert_job(
+        self, job_id: str, kind: str, payload: Dict[str, Any], priority: int, state: str
+    ) -> None:
+        """Create a job row (or refresh priority/state of an existing one)."""
+        self._check_state(state)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COALESCE(MAX(created_seq), 0) + 1 FROM jobs"
+            ).fetchone()
+            self._conn.execute(
+                "INSERT INTO jobs (job_id, kind, payload, priority, state, created_seq)"
+                " VALUES (?, ?, ?, ?, ?, ?)"
+                " ON CONFLICT(job_id) DO UPDATE SET"
+                "   priority = excluded.priority, state = excluded.state,"
+                "   error = NULL",
+                (job_id, kind, _canonical(payload), int(priority), state, int(row[0])),
+            )
+            self._conn.commit()
+
+    def set_job_state(self, job_id: str, state: str, error: Optional[str] = None) -> None:
+        self._check_state(state)
+        with self._lock:
+            cur = self._conn.execute(
+                "UPDATE jobs SET state = ?, error = ? WHERE job_id = ?",
+                (state, error, job_id),
+            )
+            self._conn.commit()
+        if cur.rowcount == 0:
+            raise KeyError(f"unknown job {job_id!r}")
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        return self._job_row(row) if row is not None else None
+
+    def list_jobs(self, state: Optional[str] = None) -> List[Dict[str, Any]]:
+        """All jobs in submission order, optionally filtered by state."""
+        query = "SELECT * FROM jobs"
+        args: tuple = ()
+        if state is not None:
+            self._check_state(state)
+            query += " WHERE state = ?"
+            args = (state,)
+        query += " ORDER BY created_seq"
+        with self._lock:
+            rows = self._conn.execute(query, args).fetchall()
+        return [self._job_row(row) for row in rows]
+
+    def pending_jobs(self) -> List[Dict[str, Any]]:
+        """Jobs a restarted service owes: queued, plus running at crash time."""
+        return [
+            job
+            for job in self.list_jobs()
+            if job["state"] in ("queued", "running")
+        ]
+
+    @staticmethod
+    def _check_state(state: str) -> None:
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r} (want one of {JOB_STATES})")
+
+    @staticmethod
+    def _job_row(row: sqlite3.Row) -> Dict[str, Any]:
+        return {
+            "job_id": row["job_id"],
+            "kind": row["kind"],
+            "payload": json.loads(row["payload"]),
+            "priority": int(row["priority"]),
+            "state": row["state"],
+            "error": row["error"],
+            "created_seq": int(row["created_seq"]),
+        }
+
+    # ------------------------------------------------------------------
+    # Per-job progress events
+    # ------------------------------------------------------------------
+    def add_event(self, job_id: str, kind: str, payload: Dict[str, Any]) -> int:
+        """Append one progress event; returns its global ``seq``."""
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO events (job_id, kind, payload) VALUES (?, ?, ?)",
+                (job_id, kind, _canonical(payload)),
+            )
+            self._conn.commit()
+        return int(cur.lastrowid or 0)
+
+    def events(
+        self, job_id: str, after: int = 0, limit: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Events for one job with ``seq > after`` — the polling cursor."""
+        query = "SELECT seq, kind, payload FROM events WHERE job_id = ? AND seq > ? ORDER BY seq"
+        args: List[object] = [job_id, int(after)]
+        if limit is not None:
+            query += " LIMIT ?"
+            args.append(int(limit))
+        with self._lock:
+            rows = self._conn.execute(query, args).fetchall()
+        return [
+            {"seq": int(r["seq"]), "kind": r["kind"], "payload": json.loads(r["payload"])}
+            for r in rows
+        ]
+
+
+def open_result_store(path: Union[str, Path]) -> SupportsResultStore:
+    """Open a result store by path, picking the backend from the suffix.
+
+    ``.jsonl`` keeps the append-only fleet format; everything else
+    (``.sqlite``, ``.db``, …) opens a :class:`SqliteResultStore`.
+    """
+    p = Path(path)
+    if p.suffix == ".jsonl":
+        return ResultStore(p)
+    return SqliteResultStore(p)
+
+
+def migrate_jsonl_to_sqlite(
+    jsonl_path: Union[str, Path], sqlite_path: Union[str, Path]
+) -> SqliteResultStore:
+    """Copy every intact record of a JSONL store into a SQLite session.
+
+    Torn/corrupt lines are skipped by the JSONL reader (with a warning
+    through ``repro.obs``), later duplicates win — exactly the recovery
+    semantics the fleet engine already relies on — so migrating a store
+    and resuming the campaign against the SQLite copy re-runs exactly the
+    jobs the JSONL resume would have.
+    """
+    source = ResultStore(Path(jsonl_path))
+    target = SqliteResultStore(Path(sqlite_path))
+    for record in source.records():
+        target.append(record)
+    return target

@@ -73,6 +73,15 @@ VIOLATION_FIXTURES: Dict[str, Tuple[str, str, int]] = {
         "HC007",
         4,
     ),
+    "repro/service/bad_poll.py": (
+        "import time\n"
+        "\n"
+        "def poll(queue):\n"
+        "    while queue.empty():\n"
+        "        time.sleep(0.1)\n",
+        "HC008",
+        5,
+    ),
 }
 
 

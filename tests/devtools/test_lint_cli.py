@@ -16,7 +16,7 @@ from repro.devtools.lint.cli import main as lint_main
 GOLDEN_JSON = """\
 {
   "counts": {
-    "error": 6,
+    "error": 7,
     "warning": 1
   },
   "diagnostics": [
@@ -61,6 +61,14 @@ GOLDEN_JSON = """\
       "severity": "error"
     },
     {
+      "col": 9,
+      "line": 5,
+      "message": "time.sleep inside a loop is an uninterruptible polling idiom; wait on a shutdown Event (event.wait(timeout)) or a Condition instead",
+      "path": "repro/service/bad_poll.py",
+      "rule": "HC008",
+      "severity": "error"
+    },
+    {
       "col": 12,
       "line": 2,
       "message": "exact float equality on time quantity ('deadline', 'now'); use repro.rt.timeutil.times_close(a, b) or is_zero_time(x) to make the tolerance explicit",
@@ -91,7 +99,7 @@ def test_json_golden_output(violation_tree, capsys):
     # and it really is valid, versioned JSON
     payload = json.loads(GOLDEN_JSON)
     assert payload["version"] == 1
-    assert payload["counts"] == {"error": 6, "warning": 1}
+    assert payload["counts"] == {"error": 7, "warning": 1}
 
 
 def test_clean_tree_exits_zero(tmp_path, capsys):
@@ -135,7 +143,16 @@ def test_rule_filter_and_severity_filter(violation_tree, capsys):
 def test_list_rules_names_every_rule(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("HC001", "HC002", "HC003", "HC004", "HC005", "HC006", "HC007"):
+    for rule_id in (
+        "HC001",
+        "HC002",
+        "HC003",
+        "HC004",
+        "HC005",
+        "HC006",
+        "HC007",
+        "HC008",
+    ):
         assert rule_id in out
 
 

@@ -27,6 +27,7 @@ def test_shipped_rule_ids():
         "HC005",
         "HC006",
         "HC007",
+        "HC008",
     ]
 
 

@@ -1,8 +1,10 @@
 """Append-only JSONL result store."""
 
 import json
+import logging
 
 from repro.fleet import ResultStore
+from repro.obs import LOGGER_NAME
 
 
 def _rec(i):
@@ -45,6 +47,30 @@ class TestResultStore:
         path = tmp_path / "s.jsonl"
         path.write_text('not json\n{"no_id": 1}\n\n' + json.dumps(_rec(5)) + "\n")
         assert [r["job_id"] for r in ResultStore(path).records()] == ["job5"]
+
+    def test_torn_line_warns_through_obs_channel(self, tmp_path, caplog):
+        # Recovery must not be silent: every skipped line surfaces as a
+        # structured warning on the repro.obs logger, naming file and line.
+        path = tmp_path / "s.jsonl"
+        store = ResultStore(path)
+        store.append(_rec(0))
+        with open(path, "a") as fh:
+            fh.write('{"job_id": "torn", "summ')
+        with caplog.at_level(logging.WARNING, logger=LOGGER_NAME):
+            assert [r["job_id"] for r in store.records()] == ["job0"]
+        (record,) = caplog.records
+        assert record.name == LOGGER_NAME
+        message = record.getMessage()
+        assert "store.torn_line" in message
+        assert str(path) in message and "line=2" in message
+
+    def test_bad_record_warns_through_obs_channel(self, tmp_path, caplog):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"no_id": 1}\n' + json.dumps(_rec(5)) + "\n")
+        with caplog.at_level(logging.WARNING, logger=LOGGER_NAME):
+            assert [r["job_id"] for r in ResultStore(path).records()] == ["job5"]
+        messages = [r.getMessage() for r in caplog.records]
+        assert any("store.bad_record" in m and "line=1" in m for m in messages)
 
     def test_duplicate_job_id_last_wins(self, tmp_path):
         store = ResultStore(tmp_path / "s.jsonl")

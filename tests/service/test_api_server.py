@@ -1,0 +1,241 @@
+"""HTTP service end-to-end: submit over the wire, poll, fetch, compare.
+
+The acceptance property: a campaign submitted over HTTP produces records
+byte-for-byte identical to the same spec run offline with
+``run_campaign`` — the service is a delivery mechanism, never a source
+of numeric drift.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.fleet import CampaignSpec, ResultStore, run_campaign
+from repro.service import HCPerfService, service_job_id
+from repro.service.cli import request_json
+from repro.service.jobs import campaign_records
+
+CAMPAIGN = {
+    "name": "t",
+    "scenarios": ["fig13"],
+    "schedulers": ["EDF", "HCPerf"],
+    "seeds": [0, 1],
+    "variants": [{"horizon": 5.0}],
+}
+
+TRACE = {"scenario": "fig13", "scheduler": "EDF", "seed": 0, "horizon": 0.5}
+
+
+@pytest.fixture(scope="module")
+def service():
+    with HCPerfService(store=None, port=0, workers=2) as svc:
+        yield svc
+
+
+def wait_done(url, job_id, timeout=60.0):
+    """Poll the job row until it leaves queued/running."""
+    pause = threading.Event()
+    waited = 0.0
+    while True:
+        status, row = request_json("GET", f"{url}/jobs/{job_id}")
+        assert status == 200, row
+        if row["state"] not in ("queued", "running"):
+            return row
+        assert waited < timeout, f"job {job_id} still {row['state']}"
+        pause.wait(0.02)
+        waited += 0.02
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        status, payload = request_json("GET", f"{service.url}/healthz")
+        assert (status, payload) == (200, {"ok": True})
+
+    def test_unknown_endpoint_404(self, service):
+        status, payload = request_json("GET", f"{service.url}/nope")
+        assert status == 404 and "no such endpoint" in payload["error"]
+
+    def test_unknown_job_404(self, service):
+        for path in ("/jobs/ffff", "/jobs/ffff/events", "/results/ffff"):
+            status, payload = request_json("GET", service.url + path)
+            assert status == 404, path
+
+    def test_malformed_submissions_400(self, service):
+        cases = [
+            None,  # no body
+            {"kind": "campaign", "payload": {"schedulers": ["Typo"]}},  # bad spec
+            {"kind": "teapot", "payload": {}},  # unknown kind
+            {"kind": "trace", "payload": {"scenario": "nope"}},  # bad scenario
+            {"kind": "trace", "payload": TRACE, "extra": 1},  # unknown field
+        ]
+        for body in cases:
+            status, payload = request_json("POST", f"{service.url}/jobs", body)
+            assert status == 400 and "error" in payload, body
+
+    def test_method_not_allowed(self, service):
+        status, payload = request_json("DELETE", f"{service.url}/healthz")
+        assert status == 404
+        status, payload = request_json("POST", f"{service.url}/jobs/ffff")
+        assert status == 405
+
+    def test_metrics_json_and_text(self, service):
+        status, payload = request_json("GET", f"{service.url}/metrics")
+        assert status == 200 and "metrics" in payload
+        import urllib.request
+
+        with urllib.request.urlopen(f"{service.url}/metrics?format=text") as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            resp.read()
+        status, payload = request_json("GET", f"{service.url}/metrics?format=xml")
+        assert status == 400
+
+
+class TestCampaignE2E:
+    def test_http_campaign_matches_offline_run_byte_for_byte(self, service):
+        status, reply = request_json(
+            "POST", f"{service.url}/jobs", {"kind": "campaign", "payload": CAMPAIGN}
+        )
+        assert status == 202 and reply["state"] == "queued" and not reply["deduped"]
+        job_id = reply["job_id"]
+        assert job_id == service_job_id("campaign", CAMPAIGN)
+
+        row = wait_done(service.url, job_id)
+        assert row["state"] == "done", row
+
+        status, result = request_json("GET", f"{service.url}/results/{job_id}")
+        assert status == 200 and result["kind"] == "campaign"
+        body = result["result"]
+        assert body["complete"] and body["total"] == 4
+
+        # offline ground truth: same spec, same seeds, no service anywhere
+        spec = CampaignSpec.from_dict(CAMPAIGN)
+        offline = ResultStore(None)
+        run_campaign(spec, store=offline, jobs=1)
+        expected = campaign_records(spec, offline)
+        assert json.dumps(body["records"], sort_keys=True) == json.dumps(
+            expected, sort_keys=True
+        )
+        assert body["job_ids"] == [r["job_id"] for r in expected]
+
+    def test_resubmission_dedupes_over_http(self, service):
+        job_id = service_job_id("campaign", CAMPAIGN)
+        wait_done(service.url, job_id)  # first submission (test above) settled
+        status, reply = request_json(
+            "POST", f"{service.url}/jobs", {"kind": "campaign", "payload": CAMPAIGN}
+        )
+        assert status == 200  # not 202: nothing new was enqueued
+        assert reply["deduped"] and reply["state"] == "done"
+        assert reply["job"]["state"] == "done"
+
+    def test_events_stream_with_cursor(self, service):
+        job_id = service_job_id("campaign", CAMPAIGN)
+        wait_done(service.url, job_id)
+        status, reply = request_json("GET", f"{service.url}/jobs/{job_id}/events")
+        assert status == 200
+        events = reply["events"]
+        kinds = [e["kind"] for e in events]
+        assert kinds.count("progress") >= 4  # at least one per fleet cell
+        states = [e["payload"]["state"] for e in events if e["kind"] == "state"]
+        assert states == ["queued", "running", "done"]
+        assert reply["next_after"] == events[-1]["seq"]
+        # cursor: everything strictly after the first event
+        status, tail = request_json(
+            "GET", f"{service.url}/jobs/{job_id}/events?after={events[0]['seq']}"
+        )
+        assert [e["seq"] for e in tail["events"]] == [e["seq"] for e in events[1:]]
+
+    def test_done_job_not_cancellable(self, service):
+        job_id = service_job_id("campaign", CAMPAIGN)
+        wait_done(service.url, job_id)
+        status, payload = request_json("DELETE", f"{service.url}/jobs/{job_id}")
+        assert status == 409 and "only queued jobs cancel" in payload["error"]
+
+    def test_jobs_listing_and_state_filter(self, service):
+        job_id = service_job_id("campaign", CAMPAIGN)
+        wait_done(service.url, job_id)
+        status, reply = request_json("GET", f"{service.url}/jobs")
+        assert status == 200 and reply["count"] == len(reply["jobs"]) >= 1
+        status, done = request_json("GET", f"{service.url}/jobs?state=done")
+        assert job_id in {j["job_id"] for j in done["jobs"]}
+        assert all(j["state"] == "done" for j in done["jobs"])
+
+
+class TestTraceE2E:
+    def test_trace_job_and_exports(self, service):
+        status, reply = request_json(
+            "POST", f"{service.url}/jobs", {"kind": "trace", "payload": TRACE}
+        )
+        assert status in (200, 202)
+        job_id = reply["job_id"]
+        row = wait_done(service.url, job_id)
+        assert row["state"] == "done", row
+
+        status, result = request_json("GET", f"{service.url}/results/{job_id}")
+        assert status == 200
+        assert result["result"]["sound"] is True
+        assert result["result"]["recording"]["events"]
+
+        status, chrome = request_json("GET", f"{service.url}/jobs/{job_id}/trace")
+        assert status == 200 and chrome["traceEvents"]
+
+        import urllib.request
+
+        for fmt in ("jsonl", "summary"):
+            with urllib.request.urlopen(
+                f"{service.url}/jobs/{job_id}/trace?format={fmt}"
+            ) as resp:
+                assert resp.status == 200
+                assert resp.read()
+
+        status, payload = request_json(
+            "GET", f"{service.url}/jobs/{job_id}/trace?format=png"
+        )
+        assert status == 400
+
+    def test_trace_export_on_campaign_job_409(self, service):
+        job_id = service_job_id("campaign", CAMPAIGN)
+        wait_done(service.url, job_id)
+        status, payload = request_json("GET", f"{service.url}/jobs/{job_id}/trace")
+        assert status == 409 and "not a trace" in payload["error"]
+
+    def test_result_before_done_409(self, service):
+        # A queued-then-cancelled job has no result to serve.
+        payload = {"scenario": "fig13", "scheduler": "EDF", "seed": 999, "horizon": 0.5}
+        job_id = service_job_id("trace", payload)
+        # submit and cancel may race the workers; accept either outcome but
+        # assert the endpoint contract for whichever state we land in.
+        request_json("POST", f"{service.url}/jobs", {"kind": "trace", "payload": payload})
+        request_json("DELETE", f"{service.url}/jobs/{job_id}")
+        row = wait_done(service.url, job_id)
+        status, result = request_json("GET", f"{service.url}/results/{job_id}")
+        if row["state"] == "done":
+            assert status == 200
+        else:
+            assert row["state"] == "cancelled"
+            assert status == 409 and "no result yet" in result["error"]
+
+
+class TestLifecycle:
+    def test_stop_joins_every_thread_and_is_idempotent_guarded(self):
+        service = HCPerfService(store=None, port=0, workers=2)
+        with pytest.raises(RuntimeError):
+            service.port  # not started yet
+        service.start()
+        with pytest.raises(RuntimeError):
+            service.start()  # double start is a bug, not a no-op
+        # track THIS service's threads (the module fixture has its own)
+        owned = list(service.queue._threads) + [service._http_thread]
+        assert all(t is not None and t.is_alive() for t in owned)
+        service.stop()
+        assert not any(t.is_alive() for t in owned)
+
+    def test_ephemeral_ports_do_not_collide(self):
+        with HCPerfService(store=None, port=0) as a, HCPerfService(
+            store=None, port=0
+        ) as b:
+            assert a.port != b.port
+            for svc in (a, b):
+                status, payload = request_json("GET", f"{svc.url}/healthz")
+                assert status == 200

@@ -1,0 +1,186 @@
+"""``hcperf submit`` / ``hcperf jobs`` clients against an in-process server."""
+
+import json
+
+import pytest
+
+from repro.cli import main as hcperf_main
+from repro.service import HCPerfService, service_job_id
+from repro.service.cli import jobs_main, submit_main
+
+TRACE_ARGS = ["trace", "fig13", "--scheduler", "EDF", "--seed", "0", "--horizon", "0.5"]
+
+
+@pytest.fixture(scope="module")
+def service():
+    with HCPerfService(store=None, port=0, workers=2) as svc:
+        yield svc
+
+
+def test_submit_wait_prints_result(service, capsys):
+    rc = submit_main(["--url", service.url, "--wait", "--poll", "0.02"] + TRACE_ARGS)
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "finished: done" in captured.err
+    result = json.loads(captured.out)
+    assert result["kind"] == "trace"
+    assert result["result"]["sound"] is True
+
+
+def test_submit_no_wait_prints_job_id(service, capsys):
+    payload = {"scenario": "fig13", "scheduler": "EDF", "seed": 7, "horizon": 0.5}
+    rc = submit_main(
+        ["--url", service.url, "trace", "fig13", "--scheduler", "EDF",
+         "--seed", "7", "--horizon", "0.5"]
+    )
+    assert rc == 0
+    assert capsys.readouterr().out.strip() == service_job_id("trace", payload)
+
+
+def test_submit_campaign_inline_json(service, capsys):
+    spec = {
+        "name": "cli",
+        "scenarios": ["fig13"],
+        "schedulers": ["EDF"],
+        "seeds": [0],
+        "variants": [{"horizon": 5.0}],
+    }
+    rc = submit_main(
+        ["--url", service.url, "--wait", "--poll", "0.02", "campaign", json.dumps(spec)]
+    )
+    captured = capsys.readouterr()
+    assert rc == 0
+    result = json.loads(captured.out)
+    assert result["result"]["total"] == 1 and result["result"]["complete"]
+
+
+def test_submit_campaign_spec_file(service, tmp_path, capsys):
+    spec = {
+        "name": "cli-file",
+        "scenarios": ["fig13"],
+        "schedulers": ["HCPerf"],
+        "seeds": [0],
+        "variants": [{"horizon": 5.0}],
+    }
+    spec_file = tmp_path / "spec.json"
+    spec_file.write_text(json.dumps(spec))
+    rc = submit_main(["--url", service.url, "campaign", str(spec_file)])
+    assert rc == 0
+    assert capsys.readouterr().out.strip() == service_job_id("campaign", spec)
+
+
+def test_submit_invalid_payload_is_a_client_error(service, capsys):
+    rc = submit_main(["--url", service.url, "trace", "not-a-scenario"])
+    captured = capsys.readouterr()
+    assert rc == 2
+    assert "unknown scenario" in captured.err
+
+
+def test_jobs_list_show_events_result(service, tmp_path, capsys):
+    submit_main(["--url", service.url, "--wait", "--poll", "0.02"] + TRACE_ARGS)
+    capsys.readouterr()
+    payload = {"scenario": "fig13", "scheduler": "EDF", "seed": 0, "horizon": 0.5}
+    job_id = service_job_id("trace", payload)
+
+    assert jobs_main(["--url", service.url, "list"]) == 0
+    listing = capsys.readouterr().out
+    assert job_id in listing
+
+    assert jobs_main(["--url", service.url, "list", "--state", "done"]) == 0
+    assert job_id in capsys.readouterr().out
+
+    assert jobs_main(["--url", service.url, "show", job_id]) == 0
+    row = json.loads(capsys.readouterr().out)
+    assert row["state"] == "done"
+
+    assert jobs_main(["--url", service.url, "events", job_id]) == 0
+    assert "running" in capsys.readouterr().out
+
+    out_file = tmp_path / "result.json"
+    assert jobs_main(["--url", service.url, "result", job_id, "-o", str(out_file)]) == 0
+    capsys.readouterr()
+    assert json.loads(out_file.read_text())["result"]["sound"] is True
+
+
+def test_jobs_metrics(service, capsys):
+    assert jobs_main(["--url", service.url, "metrics"]) == 0
+    metrics = json.loads(capsys.readouterr().out)
+    assert "counters" in metrics or metrics  # registry dict shape
+
+
+def test_jobs_unknown_id_is_a_client_error(service, capsys):
+    assert jobs_main(["--url", service.url, "show", "ffff"]) == 2
+    assert "error (404)" in capsys.readouterr().err
+    assert jobs_main(["--url", service.url, "cancel", "ffff"]) == 2
+    assert "error (404)" in capsys.readouterr().err
+
+
+def test_hcperf_dispatches_service_verbs(service, capsys):
+    # the top-level CLI wires serve/submit/jobs through to repro.service.cli
+    rc = hcperf_main(["jobs", "--url", service.url, "list"])
+    assert rc == 0
+    capsys.readouterr()
+    rc = hcperf_main(
+        ["submit", "--url", service.url, "trace", "fig13", "--scheduler", "EDF",
+         "--seed", "11", "--horizon", "0.5"]
+    )
+    assert rc == 0
+
+
+def test_serve_parser_defaults():
+    from repro.service.cli import build_serve_parser
+
+    args = build_serve_parser().parse_args([])
+    assert args.port == 8008 and args.workers == 2 and args.jobs == 1
+
+
+def test_serve_main_in_process_until_sigterm(tmp_path, capsys):
+    # serve_main blocks in run_forever; a timer thread raises SIGTERM the
+    # way an orchestrator would, and the CLI must exit 0 after a clean
+    # drainless stop.  (Signal handlers require the main thread — pytest's.)
+    import signal
+    import threading
+
+    from repro.service.cli import request_json, serve_main
+
+    port_file = tmp_path / "port"
+    probed = {}
+    served = threading.Event()
+
+    # There is a window between the port file appearing and run_forever
+    # installing its SIGTERM handler; park a benign handler there and keep
+    # re-raising until the server (whose handler wins once installed) exits.
+    original = signal.signal(signal.SIGTERM, lambda signum, frame: None)
+
+    def probe_then_stop():
+        pause = threading.Event()
+        waited = 0.0
+        while not port_file.exists() or not port_file.read_text().strip():
+            assert waited < 30.0, "serve_main never wrote the port file"
+            pause.wait(0.05)
+            waited += 0.05
+        port = int(port_file.read_text().strip())
+        probed["health"] = request_json("GET", f"http://127.0.0.1:{port}/healthz")
+        while not served.is_set():
+            signal.raise_signal(signal.SIGTERM)
+            served.wait(0.1)
+
+    stopper = threading.Thread(target=probe_then_stop)
+    stopper.start()
+    try:
+        rc = serve_main(
+            [
+                "--port", "0",
+                "--port-file", str(port_file),
+                "--store", str(tmp_path / "s.sqlite"),
+                "--workers", "1",
+            ]
+        )
+    finally:
+        served.set()
+        stopper.join()
+        signal.signal(signal.SIGTERM, original)
+    assert rc == 0
+    assert probed["health"] == (200, {"ok": True})
+    err = capsys.readouterr().err
+    assert "listening on" in err and "stopped" in err

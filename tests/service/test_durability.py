@@ -1,0 +1,186 @@
+"""Kill-the-server durability: SIGKILL mid-campaign, restart, resume.
+
+The WAL-mode SQLite store is the contract: a server killed with -9 at an
+arbitrary instant leaves a store a fresh server resumes from, completed
+content-hashed fleet cells are never recomputed, and the final records
+are byte-for-byte what a clean offline ``hcperf fleet run`` produces.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.fleet import CampaignSpec, ResultStore, run_campaign
+from repro.service import SqliteResultStore, service_job_id
+from repro.service.cli import request_json
+from repro.service.jobs import campaign_records
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+# Big enough that the kill lands mid-campaign (a cell is ~0.3s at this
+# horizon), small enough that the whole test stays in CI budget.
+CAMPAIGN = {
+    "name": "durable",
+    "scenarios": ["fig13"],
+    "schedulers": ["EDF", "HCPerf"],
+    "seeds": [0, 1, 2, 3],
+    "variants": [{"horizon": 10.0}],
+}
+TOTAL_CELLS = 8
+
+
+def spawn_server(tmp_path, store_path, tag):
+    """Start ``hcperf serve`` on an ephemeral port; return (proc, url)."""
+    port_file = tmp_path / f"port-{tag}"
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--store",
+            str(store_path),
+            "--workers",
+            "1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        cwd=str(tmp_path),
+    )
+    pause = threading.Event()
+    waited = 0.0
+    while not port_file.exists() or not port_file.read_text().strip():
+        assert proc.poll() is None, "server died before listening"
+        assert waited < 30.0, "server never wrote its port file"
+        pause.wait(0.05)
+        waited += 0.05
+    port = int(port_file.read_text().strip())
+    return proc, f"http://127.0.0.1:{port}"
+
+
+def poll_until(predicate, timeout, message):
+    pause = threading.Event()
+    waited = 0.0
+    while not predicate():
+        assert waited < timeout, message
+        pause.wait(0.05)
+        waited += 0.05
+
+
+@pytest.mark.slow
+def test_sigkill_mid_campaign_resumes_byte_identical(tmp_path):
+    store_path = tmp_path / "service.sqlite"
+    proc, url = spawn_server(tmp_path, store_path, "first")
+    job_id = service_job_id("campaign", CAMPAIGN)
+    try:
+        status, reply = request_json(
+            "POST", f"{url}/jobs", {"kind": "campaign", "payload": CAMPAIGN}
+        )
+        assert status == 202, reply
+        assert reply["job_id"] == job_id
+
+        # WAL allows a concurrent reader; kill once >=1 fleet cell is
+        # committed but before the campaign can possibly be finished.
+        reader = SqliteResultStore(store_path)
+
+        def committed():
+            return sum(1 for r in reader.records() if "job" in r)
+
+        poll_until(
+            lambda: committed() >= 1,
+            timeout=60.0,
+            message="no fleet cell committed before timeout",
+        )
+        cells_before_kill = committed()
+        assert cells_before_kill < TOTAL_CELLS, (
+            "campaign finished before the kill; grow the spec"
+        )
+        reader.close()
+    finally:
+        proc.kill()  # SIGKILL: no drain, no close, no goodbye
+        proc.wait(timeout=30)
+
+    # The store survived the kill and still knows the job was in flight.
+    survivor = SqliteResultStore(store_path)
+    row = survivor.get_job(job_id)
+    assert row is not None and row["state"] in ("queued", "running")
+    survivor.close()
+
+    # Restart on the same store: the job resumes (requeued at startup);
+    # resubmitting the same JSON dedupes against the resumed job.
+    proc, url = spawn_server(tmp_path, store_path, "second")
+    try:
+        status, reply = request_json(
+            "POST", f"{url}/jobs", {"kind": "campaign", "payload": CAMPAIGN}
+        )
+        assert status in (200, 202), reply
+        assert reply["job_id"] == job_id
+
+        def finished():
+            status, row = request_json("GET", f"{url}/jobs/{job_id}")
+            return status == 200 and row["state"] == "done"
+
+        poll_until(finished, timeout=120.0, message="resumed campaign never finished")
+        status, result = request_json("GET", f"{url}/results/{job_id}")
+        assert status == 200
+        body = result["result"]
+    finally:
+        proc.terminate()
+        proc.wait(timeout=30)
+    assert proc.returncode == 0  # SIGTERM is a *graceful* stop
+
+    # Cells committed before the kill were resumed, not recomputed.
+    assert body["complete"] and body["total"] == TOTAL_CELLS
+    assert body["resumed"] >= cells_before_kill
+    assert body["executed"] == TOTAL_CELLS - body["resumed"]
+    assert body["executed"] < TOTAL_CELLS
+
+    # And the records are byte-for-byte the clean offline run's.
+    spec = CampaignSpec.from_dict(CAMPAIGN)
+    offline = ResultStore(None)
+    run_campaign(spec, store=offline, jobs=1)
+    expected = campaign_records(spec, offline)
+    assert json.dumps(body["records"], sort_keys=True) == json.dumps(
+        expected, sort_keys=True
+    )
+
+
+@pytest.mark.slow
+def test_sigterm_drains_and_store_reopens_clean(tmp_path):
+    store_path = tmp_path / "service.sqlite"
+    proc, url = spawn_server(tmp_path, store_path, "only")
+    payload = {"scenario": "fig13", "scheduler": "EDF", "seed": 0, "horizon": 0.5}
+    job_id = service_job_id("trace", payload)
+    try:
+        status, reply = request_json(
+            "POST", f"{url}/jobs", {"kind": "trace", "payload": payload}
+        )
+        assert status == 202, reply
+
+        def finished():
+            status, row = request_json("GET", f"{url}/jobs/{job_id}")
+            return status == 200 and row["state"] == "done"
+
+        poll_until(finished, timeout=60.0, message="trace job never finished")
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+    assert proc.returncode == 0
+
+    store = SqliteResultStore(store_path)
+    assert store.get_job(job_id)["state"] == "done"
+    assert store.get_result(job_id)["result"]["sound"] is True
+    assert store.pending_jobs() == []
+    store.close()

@@ -1,0 +1,241 @@
+"""Priority queue: ordering, idempotency, cancellation, shutdown modes."""
+
+import logging
+
+import pytest
+
+from repro.obs import LOGGER_NAME, MetricsRegistry
+from repro.service import JobQueue, ServiceJob, SqliteResultStore
+
+
+def trace_job(seed, priority=0):
+    return ServiceJob(
+        kind="trace",
+        payload={"scenario": "fig13", "scheduler": "EDF", "seed": seed, "horizon": 0.5},
+        priority=priority,
+    )
+
+
+def drained_queue(store, **kw):
+    """A started queue the test must shut down; returns (queue, finish)."""
+    queue = JobQueue(store, **kw)
+    queue.start()
+    return queue
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self):
+        # No workers started: pop order is observable via _next_job.
+        queue = JobQueue(SqliteResultStore(None), workers=1)
+        low = trace_job(0, priority=0)
+        high = trace_job(1, priority=10)
+        mid_a = trace_job(2, priority=5)
+        mid_b = trace_job(3, priority=5)
+        for job in (low, mid_a, mid_b, high):
+            queue.submit(job)
+        popped = [queue._next_job() for _ in range(4)]
+        assert popped == [high.id, mid_a.id, mid_b.id, low.id]
+
+    def test_invalid_construction(self):
+        store = SqliteResultStore(None)
+        with pytest.raises(ValueError):
+            JobQueue(store, workers=0)
+        with pytest.raises(ValueError):
+            JobQueue(store, fleet_jobs=0)
+
+
+class TestIdempotency:
+    def test_resubmit_queued_dedupes(self):
+        queue = JobQueue(SqliteResultStore(None), workers=1)
+        first = queue.submit(trace_job(0))
+        second = queue.submit(trace_job(0))
+        assert not first.deduped and first.state == "queued"
+        assert second.deduped and second.state == "queued"
+        assert first.job_id == second.job_id
+        assert queue.depth == 1
+        assert queue.metrics.counter("service.jobs_deduped").value == 1
+
+    def test_resubmit_done_returns_without_rerun(self):
+        store = SqliteResultStore(None)
+        queue = drained_queue(store, workers=1)
+        try:
+            job = trace_job(0)
+            queue.submit(job)
+            assert queue.join_idle(timeout=60.0)
+            assert store.get_job(job.id)["state"] == "done"
+            completed = queue.metrics.counter("service.jobs_completed").value
+            outcome = queue.submit(trace_job(0))
+            assert outcome.deduped and outcome.state == "done"
+            assert queue.join_idle(timeout=60.0)
+            assert queue.metrics.counter("service.jobs_completed").value == completed
+        finally:
+            queue.shutdown()
+
+    def test_resubmit_failed_requeues(self):
+        store = SqliteResultStore(None)
+        queue = JobQueue(store, workers=1)
+        job = trace_job(0)
+        store.upsert_job(job.id, job.kind, job.payload, 0, "failed")
+        outcome = queue.submit(job)
+        assert not outcome.deduped and outcome.state == "queued"
+        assert store.get_job(job.id)["state"] == "queued"
+        assert store.get_job(job.id)["error"] is None
+
+    def test_invalid_job_rejected_at_submit(self):
+        queue = JobQueue(SqliteResultStore(None), workers=1)
+        bad = ServiceJob(kind="trace", payload={"scenario": "no-such-scenario"})
+        with pytest.raises(ValueError, match="unknown scenario"):
+            queue.submit(bad)
+        assert queue.depth == 0
+
+
+class TestCancellation:
+    def test_cancel_queued_job(self):
+        store = SqliteResultStore(None)
+        queue = JobQueue(store, workers=1)
+        job = trace_job(0)
+        queue.submit(job)
+        assert queue.cancel(job.id) is True
+        assert store.get_job(job.id)["state"] == "cancelled"
+        # already cancelled: not cancellable again
+        assert queue.cancel(job.id) is False
+        with pytest.raises(KeyError):
+            queue.cancel("not-a-job")
+
+    def test_cancelled_job_never_runs(self):
+        store = SqliteResultStore(None)
+        queue = JobQueue(store, workers=1)
+        job = trace_job(0)
+        queue.submit(job)
+        queue.cancel(job.id)
+        queue.start()
+        try:
+            assert queue.join_idle(timeout=60.0)
+        finally:
+            queue.shutdown()
+        assert store.get_job(job.id)["state"] == "cancelled"
+        assert store.get_result(job.id) is None
+
+
+class TestExecution:
+    def test_trace_job_runs_to_done_with_events(self):
+        store = SqliteResultStore(None)
+        queue = drained_queue(store, workers=2)
+        try:
+            job = trace_job(0)
+            queue.submit(job)
+            assert queue.join_idle(timeout=60.0)
+        finally:
+            queue.shutdown()
+        row = store.get_job(job.id)
+        assert row["state"] == "done"
+        states = [
+            e["payload"]["state"]
+            for e in store.events(job.id)
+            if e["kind"] == "state"
+        ]
+        assert states == ["queued", "running", "done"]
+        record = store.get_result(job.id)
+        assert record["result"]["kind"] == "trace"
+        assert record["result"]["sound"] is True
+
+    def test_failing_job_records_error_and_warns(self, caplog):
+        store = SqliteResultStore(None)
+        queue = drained_queue(store, workers=1)
+        # validates (field names are fine) but fails at execution: the
+        # fault-suite entry does not exist
+        job = ServiceJob(
+            kind="fault",
+            payload={
+                "scenario": "fig13",
+                "scheduler": "EDF",
+                "seed": 0,
+                "spec": "no-such-suite-entry",
+            },
+        )
+        try:
+            with caplog.at_level(logging.WARNING, logger=LOGGER_NAME):
+                queue.submit(job)
+                assert queue.join_idle(timeout=60.0)
+        finally:
+            queue.shutdown()
+        row = store.get_job(job.id)
+        assert row["state"] == "failed"
+        assert "no-such-suite-entry" in row["error"]
+        assert queue.metrics.counter("service.jobs_failed").value == 1
+        assert any(
+            "service.job_failed" in r.getMessage() for r in caplog.records
+        )
+        failure_events = [
+            e for e in store.events(job.id) if e["payload"].get("state") == "failed"
+        ]
+        assert failure_events and "detail" in failure_events[0]["payload"]
+
+
+class TestShutdownAndResume:
+    def test_drain_finishes_everything(self):
+        store = SqliteResultStore(None)
+        queue = JobQueue(store, workers=2)
+        jobs = [trace_job(i) for i in range(4)]
+        for job in jobs:
+            queue.submit(job)
+        queue.start()
+        queue.shutdown(drain=True)
+        for job in jobs:
+            assert store.get_job(job.id)["state"] == "done"
+        assert not any(t.is_alive() for t in queue._threads)
+
+    def test_non_drain_leaves_rest_queued_and_resumable(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SqliteResultStore(path)
+        queue = JobQueue(store, workers=1)
+        jobs = [trace_job(i) for i in range(4)]
+        for job in jobs:
+            queue.submit(job)
+        queue.start()
+        queue.shutdown(drain=False)
+        states = {store.get_job(j.id)["state"] for j in jobs}
+        assert states <= {"done", "queued"}  # nothing stuck 'running'
+        store.close()
+
+        resumed_store = SqliteResultStore(path)
+        still_queued = sum(
+            1 for j in jobs if resumed_store.get_job(j.id)["state"] == "queued"
+        )
+        resumed = JobQueue(resumed_store, workers=2)
+        assert resumed.start() == still_queued
+        try:
+            assert resumed.join_idle(timeout=60.0)
+        finally:
+            resumed.shutdown()
+        for job in jobs:
+            assert resumed_store.get_job(job.id)["state"] == "done"
+
+    def test_requeue_pending_recovers_running_jobs(self):
+        # A job left 'running' by a SIGKILLed process goes back to queued.
+        store = SqliteResultStore(None)
+        job = trace_job(0)
+        store.upsert_job(job.id, job.kind, job.payload, 0, "running")
+        queue = JobQueue(store, workers=1)
+        assert queue.requeue_pending() == 1
+        row = store.get_job(job.id)
+        assert row["state"] == "queued"
+        reasons = [
+            e["payload"].get("reason")
+            for e in store.events(job.id)
+            if e["kind"] == "state"
+        ]
+        assert "requeued" in reasons
+
+    def test_submit_after_shutdown_rejected(self):
+        queue = JobQueue(SqliteResultStore(None), workers=1)
+        queue.shutdown()
+        with pytest.raises(RuntimeError, match="shutting down"):
+            queue.submit(trace_job(0))
+
+    def test_metrics_registry_is_shared(self):
+        metrics = MetricsRegistry()
+        queue = JobQueue(SqliteResultStore(None), workers=1, metrics=metrics)
+        queue.submit(trace_job(0))
+        assert metrics.counter("service.jobs_submitted").value == 1
+        assert metrics.gauge("service.queue_depth").value == 1.0

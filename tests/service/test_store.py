@@ -1,0 +1,159 @@
+"""SQLite session store: results interface, jobs, events, migration."""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.fleet import ResultStore, SupportsResultStore
+from repro.service import SqliteResultStore, migrate_jsonl_to_sqlite, open_result_store
+
+
+def _rec(i):
+    return {"job_id": f"job{i}", "job": {"seed": i}, "summary": {"metric": float(i)}}
+
+
+class TestResultInterface:
+    def test_satisfies_fleet_store_protocol(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        assert isinstance(store, SupportsResultStore)
+
+    def test_append_and_read_back(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        for i in range(3):
+            store.append(_rec(i))
+        assert len(store) == 3
+        assert "job1" in store and "nope" not in store
+        assert store.job_ids()["job2"]["summary"]["metric"] == 2.0
+        assert store.get_result("job0") == _rec(0)
+        assert store.get_result("nope") is None
+
+    def test_wal_mode_on_file_store(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        assert store.journal_mode == "wal"
+
+    def test_in_memory_store(self):
+        store = SqliteResultStore(None)
+        store.append(_rec(0))
+        assert len(store) == 1 and "job0" in store
+
+    def test_duplicate_job_id_last_wins(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        store.append(_rec(0))
+        newer = _rec(0)
+        newer["summary"]["metric"] = 99.0
+        store.append(newer)
+        (record,) = store.records()
+        assert record["summary"]["metric"] == 99.0
+
+    def test_record_without_job_id_rejected(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        with pytest.raises(ValueError, match="job_id"):
+            store.append({"summary": {}})
+
+    def test_reopen_preserves_records(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        with SqliteResultStore(path) as store:
+            store.append(_rec(0))
+        reopened = SqliteResultStore(path)
+        assert [r["job_id"] for r in reopened.records()] == ["job0"]
+        reopened.close()
+
+    def test_concurrent_appends_from_threads(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        threads = [
+            threading.Thread(target=store.append, args=(_rec(i),), daemon=True)
+            for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(store) == 16
+
+
+class TestJobsAndEvents:
+    def test_job_lifecycle(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        store.upsert_job("a1", "campaign", {"name": "x"}, 3, "queued")
+        row = store.get_job("a1")
+        assert row["state"] == "queued" and row["priority"] == 3
+        assert row["payload"] == {"name": "x"}
+        store.set_job_state("a1", "running")
+        store.set_job_state("a1", "failed", error="boom")
+        row = store.get_job("a1")
+        assert row["state"] == "failed" and row["error"] == "boom"
+        # upsert clears the error and refreshes state
+        store.upsert_job("a1", "campaign", {"name": "x"}, 5, "queued")
+        row = store.get_job("a1")
+        assert row["state"] == "queued" and row["error"] is None and row["priority"] == 5
+
+    def test_unknown_job_and_state_rejected(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        with pytest.raises(KeyError):
+            store.set_job_state("ghost", "done")
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.upsert_job("a1", "campaign", {}, 0, "paused")
+
+    def test_list_and_pending(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        store.upsert_job("a", "campaign", {}, 0, "queued")
+        store.upsert_job("b", "fault", {}, 0, "running")
+        store.upsert_job("c", "trace", {}, 0, "done")
+        assert [j["job_id"] for j in store.list_jobs()] == ["a", "b", "c"]
+        assert [j["job_id"] for j in store.list_jobs(state="done")] == ["c"]
+        assert [j["job_id"] for j in store.pending_jobs()] == ["a", "b"]
+
+    def test_event_cursor(self, tmp_path):
+        store = SqliteResultStore(tmp_path / "s.sqlite")
+        store.upsert_job("a", "campaign", {}, 0, "queued")
+        seqs = [store.add_event("a", "progress", {"message": f"m{i}"}) for i in range(4)]
+        assert seqs == sorted(seqs)
+        all_events = store.events("a")
+        assert [e["payload"]["message"] for e in all_events] == ["m0", "m1", "m2", "m3"]
+        tail = store.events("a", after=seqs[1])
+        assert [e["seq"] for e in tail] == seqs[2:]
+        assert store.events("a", after=seqs[1], limit=1) == tail[:1]
+        assert store.events("other") == []
+
+
+class TestOpenAndMigrate:
+    def test_open_by_suffix(self, tmp_path):
+        assert isinstance(open_result_store(tmp_path / "a.jsonl"), ResultStore)
+        assert isinstance(open_result_store(tmp_path / "a.sqlite"), SqliteResultStore)
+        assert isinstance(open_result_store(tmp_path / "a.db"), SqliteResultStore)
+
+    def test_migration_round_trip(self, tmp_path):
+        jsonl = ResultStore(tmp_path / "a.jsonl")
+        for i in range(5):
+            jsonl.append(_rec(i))
+        sqlite_store = migrate_jsonl_to_sqlite(tmp_path / "a.jsonl", tmp_path / "a.sqlite")
+        assert sqlite_store.records() == jsonl.records()
+        # canonical-JSON byte identity, record for record
+        for a, b in zip(jsonl.records(), sqlite_store.records()):
+            assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_migration_skips_torn_lines(self, tmp_path):
+        jsonl_path = tmp_path / "a.jsonl"
+        jsonl = ResultStore(jsonl_path)
+        jsonl.append(_rec(0))
+        with open(jsonl_path, "a") as fh:
+            fh.write('{"job_id": "torn", "summ')
+        migrated = migrate_jsonl_to_sqlite(jsonl_path, tmp_path / "a.sqlite")
+        assert [r["job_id"] for r in migrated.records()] == ["job0"]
+
+    def test_store_file_is_sqlite(self, tmp_path):
+        path = tmp_path / "s.sqlite"
+        store = SqliteResultStore(path)
+        store.append(_rec(0))
+        store.close()
+        conn = sqlite3.connect(path)
+        tables = {
+            row[0]
+            for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        conn.close()
+        assert {"jobs", "results", "events"} <= tables
