@@ -1,0 +1,19 @@
+"""Devtools bench: the hclint content-hash cache earning its keep.
+
+Unlike the paper-figure benches, this measures the repo's own tooling —
+the ``lint_project`` entry of the smoke suite — so a regression in warm
+lint time (the edit-lint loop developers actually sit in) fails CI like
+any other perf regression.
+"""
+
+from repro.devtools.bench.kernels import lint_project
+
+
+def test_bench_lint_project(once):
+    metrics = once(lint_project)
+    assert metrics["diagnostics"] == 0.0  # the shipped repo lints clean
+    assert metrics["files"] > 100
+    # The acceptance bar for the cache: warm runs at least 5x faster than
+    # cold, and fast in absolute terms (the edit-lint loop budget).
+    assert metrics["speedup"] >= 5.0
+    assert metrics["warm_ms"] < 1000.0

@@ -19,9 +19,10 @@ Modes:
   run's full event stream, export it as a Chrome trace / JSONL / text
   summary, and check the trace-invariant catalog
   (see docs/observability.md);
-* ``hcperf lint [--rule ID] [--format text|json]`` — hclint, the
-  AST-based invariant checker (determinism, scheduler contracts,
-  hygiene; see docs/static_analysis.md);
+* ``hcperf lint [--rule ID] [--format text|json|sarif] [--changed]`` —
+  hclint, the two-pass whole-program invariant checker (determinism,
+  scheduler contracts, lock discipline, taint into recorded results;
+  see docs/static_analysis.md);
 * ``hcperf bench run|compare|list`` — machine-readable benchmark
   harness: run a registered suite to ``BENCH_<tag>.json`` and gate a new
   report against a baseline with a perf-regression threshold (see
@@ -129,7 +130,7 @@ def _list_experiments() -> str:
     )
     lines.append(
         "Static analysis:  hcperf lint [PATH ...] [--rule ID] "
-        "[--format text|json] [--list-rules]"
+        "[--format text|json|sarif] [--changed [BASE]] [--list-rules]"
     )
     lines.append(
         "Benchmarks:       hcperf bench {run,compare,list} "

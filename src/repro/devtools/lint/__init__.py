@@ -1,18 +1,24 @@
-"""hclint — AST-based invariant checker for the HCPerf reproduction.
+"""hclint — two-pass whole-program invariant checker for the reproduction.
 
 The paper-level claims rest on invariants no test suite can check
 exhaustively (see docs/static_analysis.md): simulation code never reads
 the wall clock or global RNG, schedulers honor the ``Scheduler``
-contract, fleet code never swallows failures, and time arithmetic never
-relies on exact float equality.  hclint enforces them statically on
-every file, every PR.
+contract, fleet code never swallows failures, the threaded service layer
+keeps its shared state under its locks, and nondeterministic values never
+flow — even across call edges — into recorded results.
+
+Pass 1 runs per-file AST rules (HC001–HC008, HC011) and extracts a
+:class:`ModuleSummary` per file; both are cached by content hash
+(``.hclint-cache.json``).  Pass 2 links the summaries into a
+:class:`ProjectIndex` (symbol tables + approximate call graph) and runs
+the whole-program rules (HC009 lock-discipline, HC010 determinism taint).
 
 Use it three ways:
 
-* CLI: ``hcperf lint [--rule HC001] [--format text|json]`` (or
-  ``python -m repro.devtools.lint``);
+* CLI: ``hcperf lint [--rule HC001] [--format text|json|sarif]
+  [--changed] [--baseline FILE]`` (or ``python -m repro.devtools.lint``);
 * pytest gate: ``from repro.devtools.lint import run_lint;
-  assert run_lint() == []`` — part of the tier-1 suite;
+  assert run_lint() == []`` — part of the tier-1 suite (cacheless);
 * library: :func:`run_lint` / :func:`lint_file` return sorted
   :class:`Diagnostic` lists for further processing.
 
@@ -20,10 +26,13 @@ Inline suppression: ``# hclint: disable=HC001`` on the flagged line,
 ``# hclint: disable-file=HC001`` for a whole file.
 """
 
+from .baseline import Baseline
+from .cache import LintCache
 from .diagnostics import Diagnostic, Severity
 from .engine import (
     PARSE_ERROR_RULE,
     FileContext,
+    ProjectRule,
     Rule,
     default_root,
     get_rules,
@@ -33,11 +42,14 @@ from .engine import (
     rule_ids,
     run_lint,
 )
+from .index import ModuleSummary, ProjectIndex, summarize_module
+from .sarif import format_sarif, to_sarif
 
 __all__ = [
     "Diagnostic",
     "Severity",
     "Rule",
+    "ProjectRule",
     "FileContext",
     "register",
     "get_rules",
@@ -47,4 +59,11 @@ __all__ = [
     "lint_file",
     "run_lint",
     "PARSE_ERROR_RULE",
+    "Baseline",
+    "LintCache",
+    "ModuleSummary",
+    "ProjectIndex",
+    "summarize_module",
+    "format_sarif",
+    "to_sarif",
 ]

@@ -1,0 +1,85 @@
+"""Committed lint baseline for staged rule adoption.
+
+When a new rule lands with pre-existing violations that cannot all be
+fixed in the same PR, the debt is recorded in a committed
+``lint-baseline.json`` instead of blocking the build: a baselined
+diagnostic is filtered from the report, and *new* occurrences still fail.
+Entries match on ``(rule, path, message)`` as a multiset — deliberately
+line-number-free, so unrelated edits to a file do not churn the baseline,
+and count-aware, so adding a second identical violation next to a
+baselined one is still caught.
+
+The shipped baseline is empty (the acceptance bar for new rules is "fix
+everything they find"); the file exists so the workflow is exercised and
+``--write-baseline`` has a stable target.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .diagnostics import Diagnostic
+
+__all__ = ["BASELINE_VERSION", "DEFAULT_BASELINE_NAME", "Baseline"]
+
+BASELINE_VERSION = 1
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def _key(d: Diagnostic) -> _Key:
+    return (d.rule, d.path, d.message)
+
+
+class Baseline:
+    """A multiset of accepted (rule, path, message) diagnostics."""
+
+    def __init__(self, entries: Sequence[_Key] = ()) -> None:
+        self.counts: Counter = Counter(entries)
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    @staticmethod
+    def load(path: Path) -> "Baseline":
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(raw, dict) or raw.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline (want version={BASELINE_VERSION})"
+            )
+        entries = []
+        for entry in raw.get("entries", []):
+            entries.append((entry["rule"], entry["path"], entry["message"]))
+        return Baseline(entries)
+
+    @staticmethod
+    def from_diagnostics(diagnostics: Sequence[Diagnostic]) -> "Baseline":
+        return Baseline([_key(d) for d in diagnostics])
+
+    def filter(self, diagnostics: Sequence[Diagnostic]) -> List[Diagnostic]:
+        """Drop up to count(key) matching diagnostics per baselined key."""
+        budget = Counter(self.counts)
+        kept: List[Diagnostic] = []
+        for d in sorted(diagnostics):
+            k = _key(d)
+            if budget[k] > 0:
+                budget[k] -= 1
+            else:
+                kept.append(d)
+        return kept
+
+    def to_json(self) -> str:
+        entries: List[Dict[str, Any]] = []
+        for (rule, path, message), count in sorted(self.counts.items()):
+            for _ in range(count):
+                entries.append({"rule": rule, "path": path, "message": message})
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def write(self, path: Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")

@@ -1,0 +1,181 @@
+"""Incremental analysis cache keyed by content hash.
+
+One JSON file (default ``<root>/.hclint-cache.json``, gitignored) holds,
+per linted file, the sha256 of its source plus everything pass 1 produced
+from it: the post-suppression per-file diagnostics, the
+:class:`~repro.devtools.lint.index.ModuleSummary`, and the parsed
+suppression table.  A warm run re-reads each source only to hash it; on a
+hit nothing is re-parsed.  The whole-program pass caches too, keyed by the
+digest of every (relpath, sha) pair — edit no file and pass 2 is a single
+dictionary lookup.
+
+Invalidation is by *fingerprint*: ``CACHE_SCHEMA`` (bumped whenever rule
+logic or summary shape changes) plus the sorted ids of the active rules.
+A fingerprint mismatch drops the entire cache — correctness never depends
+on the cache, only speed does, so the failure mode of a stale schema is a
+cold run, not a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .diagnostics import Diagnostic, Severity
+from .index import ModuleSummary
+from .suppressions import FileSuppressions
+
+__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_NAME", "LintCache", "content_digest"]
+
+#: Bump on any change to rule logic, summary extraction, or cache layout.
+CACHE_SCHEMA = 1
+
+DEFAULT_CACHE_NAME = ".hclint-cache.json"
+
+
+def content_digest(source: bytes) -> str:
+    return hashlib.sha256(source).hexdigest()
+
+
+def _diag_to_dict(d: Diagnostic) -> Dict[str, Any]:
+    return {
+        "path": d.path,
+        "line": d.line,
+        "col": d.col,
+        "rule": d.rule,
+        "severity": d.severity.name.lower(),
+        "message": d.message,
+    }
+
+
+def _diag_from_dict(d: Dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        path=d["path"],
+        line=int(d["line"]),
+        col=int(d["col"]),
+        rule=d["rule"],
+        severity=Severity.parse(d["severity"]),
+        message=d["message"],
+    )
+
+
+class LintCache:
+    """Content-addressed per-file + whole-program result cache."""
+
+    def __init__(self, path: Path, fingerprint: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self._files: Dict[str, Dict[str, Any]] = {}
+        self._project: Dict[str, Any] = {}
+        self._dirty = False
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    @staticmethod
+    def make_fingerprint(rule_ids: Sequence[str]) -> str:
+        return f"schema={CACHE_SCHEMA};rules={','.join(sorted(rule_ids))}"
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(raw, dict) or raw.get("fingerprint") != self.fingerprint:
+            return  # stale schema/rule set: start cold
+        files = raw.get("files")
+        project = raw.get("project")
+        if isinstance(files, dict):
+            self._files = files
+        if isinstance(project, dict):
+            self._project = project
+
+    # -- per-file entries --------------------------------------------------
+
+    def lookup(
+        self, relpath: str, sha: str
+    ) -> Optional[Tuple[List[Diagnostic], ModuleSummary, FileSuppressions]]:
+        entry = self._files.get(relpath)
+        if entry is None or entry.get("sha") != sha:
+            self.misses += 1
+            return None
+        try:
+            diags = [_diag_from_dict(d) for d in entry["diagnostics"]]
+            summary = ModuleSummary.from_dict(entry["summary"])
+            supp = FileSuppressions.from_dict(entry["suppressions"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return diags, summary, supp
+
+    def store(
+        self,
+        relpath: str,
+        sha: str,
+        diagnostics: Sequence[Diagnostic],
+        summary: ModuleSummary,
+        suppressions: FileSuppressions,
+    ) -> None:
+        self._files[relpath] = {
+            "sha": sha,
+            "diagnostics": [_diag_to_dict(d) for d in diagnostics],
+            "summary": summary.to_dict(),
+            "suppressions": suppressions.to_dict(),
+        }
+        self._dirty = True
+
+    # -- whole-program entry -----------------------------------------------
+
+    @staticmethod
+    def project_digest(file_hashes: Sequence[Tuple[str, str]]) -> str:
+        h = hashlib.sha256()
+        for relpath, sha in sorted(file_hashes):
+            h.update(relpath.encode("utf-8"))
+            h.update(b"\0")
+            h.update(sha.encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()
+
+    def lookup_project(self, digest: str) -> Optional[List[Diagnostic]]:
+        if self._project.get("digest") != digest:
+            return None
+        try:
+            return [_diag_from_dict(d) for d in self._project["diagnostics"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store_project(self, digest: str, diagnostics: Sequence[Diagnostic]) -> None:
+        self._project = {
+            "digest": digest,
+            "diagnostics": [_diag_to_dict(d) for d in diagnostics],
+        }
+        self._dirty = True
+
+    # -- persistence -------------------------------------------------------
+
+    def prune(self, keep_relpaths: Sequence[str]) -> None:
+        """Drop entries for files that no longer exist in the linted set."""
+        keep = set(keep_relpaths)
+        stale = [k for k in self._files if k not in keep]
+        for k in stale:
+            del self._files[k]
+            self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {
+            "fingerprint": self.fingerprint,
+            "files": self._files,
+            "project": self._project,
+        }
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True), encoding="utf-8")
+            tmp.replace(self.path)
+        except OSError:
+            return  # read-only checkout: silently run uncached
+        self._dirty = False

@@ -25,6 +25,7 @@ from .suppressions import parse_suppressions
 __all__ = [
     "FileContext",
     "Rule",
+    "ProjectRule",
     "register",
     "get_rules",
     "rule_ids",
@@ -92,6 +93,37 @@ class Rule:
             path=ctx.relpath,
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A whole-program rule: runs over the :class:`ProjectIndex`, not files.
+
+    Project rules participate in the same registry, id space, scoping and
+    suppression machinery as per-file rules, but their unit of analysis is
+    the linked index built by pass 1 (see ``index.py``).  ``check`` is a
+    deliberate no-op — ``lint_file`` skips these — and subclasses
+    implement :meth:`check_project` instead.  The engine applies
+    ``applies_to`` and per-file suppressions to whatever they yield, so a
+    rule may emit for any module and let scoping do the filtering.
+    """
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def project_diagnostic(
+        self, relpath: str, lineno: int, col: int, message: str
+    ) -> Diagnostic:
+        return Diagnostic(
+            path=relpath,
+            line=lineno,
+            col=col + 1,
             rule=self.id,
             severity=self.severity,
             message=message,
@@ -189,12 +221,25 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
+def _parse_error_diag(relpath: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=relpath,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1,
+        rule=PARSE_ERROR_RULE,
+        severity=Severity.ERROR,
+        message=f"syntax error: {exc.msg}",
+    )
+
+
 def lint_file(
     path: Union[str, Path],
     root: Optional[Path] = None,
     rules: Optional[Sequence[Rule]] = None,
 ) -> List[Diagnostic]:
-    """Lint one file; unparsable files yield a single HC000 diagnostic."""
+    """Run the *per-file* rules over one file (project rules are skipped —
+    they need the whole-program index; use :func:`run_lint` for those).
+    Unparsable files yield a single HC000 diagnostic."""
     path = Path(path).resolve()
     root = (root or default_root()).resolve()
     active = list(rules) if rules is not None else get_rules()
@@ -205,20 +250,11 @@ def lint_file(
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=ctx.relpath,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1,
-                rule=PARSE_ERROR_RULE,
-                severity=Severity.ERROR,
-                message=f"syntax error: {exc.msg}",
-            )
-        ]
+        return [_parse_error_diag(ctx.relpath, exc)]
 
     found: List[Diagnostic] = []
     for rule in active:
-        if not rule.applies_to(ctx.relpath):
+        if isinstance(rule, ProjectRule) or not rule.applies_to(ctx.relpath):
             continue
         found.extend(rule.check(tree, ctx))
 
@@ -226,16 +262,50 @@ def lint_file(
     return sorted(d for d in found if not suppressions.suppresses(d))
 
 
+def _analyze_file(
+    path: Path,
+    relpath: str,
+    source: str,
+    file_rules: Sequence[Rule],
+) -> "Tuple[List[Diagnostic], ModuleSummary, FileSuppressions]":
+    """Pass 1 for one file: per-file diagnostics + module summary."""
+    from .index import ModuleSummary, summarize_module
+
+    ctx = FileContext(path=path, relpath=relpath)
+    ctx.source_lines = source.splitlines()
+    suppressions = parse_suppressions(ctx.source_lines)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        summary = ModuleSummary(module="", relpath=relpath, parse_failed=True)
+        return [_parse_error_diag(relpath, exc)], summary, suppressions
+
+    found: List[Diagnostic] = []
+    for rule in file_rules:
+        if not rule.applies_to(ctx.relpath):
+            continue
+        found.extend(rule.check(tree, ctx))
+    diagnostics = sorted(d for d in found if not suppressions.suppresses(d))
+    return diagnostics, summarize_module(tree, relpath), suppressions
+
+
 def run_lint(
     paths: Optional[Sequence[Union[str, Path]]] = None,
     rules: Optional[Iterable[str]] = None,
     root: Optional[Union[str, Path]] = None,
     min_severity: Severity = Severity.WARNING,
+    cache: Optional["LintCache"] = None,
+    baseline: Optional["Baseline"] = None,
+    report_paths: Optional[Sequence[Union[str, Path]]] = None,
 ) -> List[Diagnostic]:
-    """Lint ``paths`` (default: the installed ``repro`` package tree).
+    """Two-pass lint of ``paths`` (default: the ``repro`` package tree).
 
-    This is the pytest-importable entry point: the repo-clean gate is
-    ``assert run_lint() == []``.
+    Pass 1 maps over files: per-file rules run on each AST and a
+    :class:`ModuleSummary` is extracted (both cacheable by content hash).
+    Pass 2 links the summaries into a :class:`ProjectIndex` and runs the
+    whole-program rules (HC009+).  This function is the pytest-importable
+    entry point — the repo-clean gate is ``assert run_lint() == []`` and
+    deliberately runs cacheless so it cannot be fooled by stale state.
 
     Parameters
     ----------
@@ -249,12 +319,83 @@ def run_lint(
         for rule scoping (default: the directory containing ``repro``).
     min_severity:
         Drop diagnostics below this severity.
+    cache:
+        A :class:`~repro.devtools.lint.cache.LintCache` to consult and
+        update (default ``None`` = analyze everything fresh).  The CLI
+        enables this by default; the library gate does not.
+    baseline:
+        A :class:`~repro.devtools.lint.baseline.Baseline` whose accepted
+        findings are filtered from the report.
+    report_paths:
+        If given, only diagnostics anchored in these files are *reported*
+        — the index is still built over all of ``paths``, so
+        whole-program rules see the full picture (``--changed`` mode).
     """
     root_path = Path(root).resolve() if root is not None else default_root()
     if paths is None:
         paths = [root_path / "repro"]
     active = get_rules(only=list(rules) if rules is not None else None)
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+
     diagnostics: List[Diagnostic] = []
+    summaries = []
+    supp_by_path: Dict[str, "FileSuppressions"] = {}
+    file_hashes: List[Tuple[str, str]] = []
+
     for path in iter_python_files(paths):
-        diagnostics.extend(lint_file(path, root=root_path, rules=active))
+        relpath = _relpath(path, root_path)
+        source = path.read_text(encoding="utf-8")
+        entry = None
+        sha = ""
+        if cache is not None:
+            from .cache import content_digest
+
+            sha = content_digest(source.encode("utf-8"))
+            file_hashes.append((relpath, sha))
+            entry = cache.lookup(relpath, sha)
+        if entry is not None:
+            file_diags, summary, suppressions = entry
+        else:
+            file_diags, summary, suppressions = _analyze_file(
+                path, relpath, source, file_rules
+            )
+            if cache is not None:
+                cache.store(relpath, sha, file_diags, summary, suppressions)
+        diagnostics.extend(file_diags)
+        summaries.append(summary)
+        supp_by_path[relpath] = suppressions
+
+    if project_rules:
+        project_diags: Optional[List[Diagnostic]] = None
+        digest = ""
+        if cache is not None:
+            digest = cache.project_digest(file_hashes)
+            project_diags = cache.lookup_project(digest)
+        if project_diags is None:
+            from .index import ProjectIndex
+
+            index = ProjectIndex([s for s in summaries if not s.parse_failed])
+            project_diags = []
+            for rule in project_rules:
+                for diag in rule.check_project(index):
+                    if not rule.applies_to(diag.path):
+                        continue
+                    supp = supp_by_path.get(diag.path)
+                    if supp is not None and supp.suppresses(diag):
+                        continue
+                    project_diags.append(diag)
+            project_diags.sort()
+            if cache is not None:
+                cache.store_project(digest, project_diags)
+        diagnostics.extend(project_diags)
+
+    if cache is not None:
+        cache.prune([relpath for relpath, _ in file_hashes])
+        cache.save()
+    if baseline is not None:
+        diagnostics = baseline.filter(diagnostics)
+    if report_paths is not None:
+        wanted = {_relpath(Path(p).resolve(), root_path) for p in report_paths}
+        diagnostics = [d for d in diagnostics if d.path in wanted]
     return sorted(d for d in diagnostics if d.severity >= min_severity)

@@ -10,14 +10,20 @@ grouped by the invariant family they protect:
 * :mod:`hygiene` — HC004 (mutable defaults), HC005 (swallowed
   exceptions), HC006 (float equality on time quantities);
 * :mod:`service` — HC008 (service liveness: no sleep-polling loops, no
-  unjoined non-daemon threads).
+  unjoined non-daemon threads);
+* :mod:`locks` — HC009 (lock discipline in the threaded service/fleet
+  layers; whole-program);
+* :mod:`taint` — HC010 (inter-procedural determinism taint into
+  recording sinks; whole-program);
+* :mod:`spans` — HC011 (recorder bind/finalize pairing on all paths).
 
-To add a rule: subclass :class:`~repro.devtools.lint.engine.Rule` in one
-of these modules (or a new one imported here), decorate it with
-``@register``, and add a fixture case to
+To add a rule: subclass :class:`~repro.devtools.lint.engine.Rule` (or
+:class:`~repro.devtools.lint.engine.ProjectRule` for whole-program
+checks) in one of these modules (or a new one imported here), decorate it
+with ``@register``, and add a fixture case to
 ``tests/devtools/test_lint_rules.py`` — see docs/static_analysis.md.
 """
 
-from . import contracts, determinism, hygiene, service
+from . import contracts, determinism, hygiene, locks, service, spans, taint
 
-__all__ = ["contracts", "determinism", "hygiene", "service"]
+__all__ = ["contracts", "determinism", "hygiene", "locks", "service", "spans", "taint"]

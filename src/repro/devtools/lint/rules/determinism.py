@@ -17,6 +17,12 @@ from typing import Iterator, Optional, Tuple
 
 from ..diagnostics import Diagnostic, Severity
 from ..engine import FileContext, Rule, register
+from ..taintspec import (
+    GLOBAL_RANDOM_ATTRS as _GLOBAL_RANDOM_ATTRS,
+    NUMPY_RANDOM_OK as _NUMPY_RANDOM_OK,
+    WALL_CLOCK_DATETIME as _WALL_CLOCK_DATETIME,
+    WALL_CLOCK_TIME_ATTRS as _WALL_CLOCK_TIME_ATTRS,
+)
 from .common import dotted_chain
 
 __all__ = [
@@ -41,26 +47,9 @@ DETERMINISM_SCOPE: Tuple[str, ...] = (
     "repro/fleet/worker.py",
 )
 
-#: ``time`` module members that read (or block on) the wall clock.
-_WALL_CLOCK_TIME_ATTRS = frozenset(
-    {
-        "time",
-        "time_ns",
-        "monotonic",
-        "monotonic_ns",
-        "perf_counter",
-        "perf_counter_ns",
-        "process_time",
-        "process_time_ns",
-        "clock",
-        "sleep",
-    }
-)
-
-#: ``(owner, attr)`` suffixes of datetime-style wall-clock constructors.
-_WALL_CLOCK_DATETIME = frozenset(
-    {("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"), ("date", "today")}
-)
+# The source vocabulary (wall-clock / global-RNG tables) lives in
+# ..taintspec, shared with the inter-procedural HC010 rule so the two can
+# never disagree about what a nondeterminism source is.
 
 
 @register
@@ -122,39 +111,6 @@ class NoWallClockRule(Rule):
                 "no access to calendar time"
             )
         return None
-
-
-#: Process-global sampling functions of the ``random`` module.
-_GLOBAL_RANDOM_ATTRS = frozenset(
-    {
-        "random",
-        "randint",
-        "randrange",
-        "randbytes",
-        "getrandbits",
-        "uniform",
-        "triangular",
-        "gauss",
-        "normalvariate",
-        "lognormvariate",
-        "expovariate",
-        "vonmisesvariate",
-        "gammavariate",
-        "betavariate",
-        "paretovariate",
-        "weibullvariate",
-        "choice",
-        "choices",
-        "sample",
-        "shuffle",
-        "seed",
-        "setstate",
-    }
-)
-
-#: ``numpy.random`` members that are fine to *reference* (constructing an
-#: explicit generator); everything else on ``np.random`` is global state.
-_NUMPY_RANDOM_OK = frozenset({"Generator", "SeedSequence", "BitGenerator", "PCG64"})
 
 
 @register

@@ -1,0 +1,171 @@
+"""HC009 — lock discipline in the threaded layers.
+
+The job service (`repro/service/`) runs real threads: HTTP handler
+threads from ``ThreadingHTTPServer``, queue workers, and the fleet pool's
+callbacks.  The established pattern (``SqliteResultStore._lock`` in
+``repro/service/store.py``) is that a class owning a
+``threading.Lock``/``RLock``/``Condition`` guards its mutable attributes
+with it — *every* access, not just writes, because a torn read of a heap
+or dict under concurrent mutation is still a race.
+
+The rule infers the guarded set per class instead of requiring
+annotations: an attribute is *guarded* if any method outside ``__init__``
+writes or mutates it while holding one of the class's locks.  Every other
+access to a guarded attribute must then also hold that lock, except in
+
+* ``__init__`` (object not yet shared), and
+* private helper methods whose every in-class call site already holds
+  the lock and which nothing outside the class calls (the
+  ``_locked``-suffix helper idiom) — verified against the call graph.
+
+Known approximations: lock state does not flow through arbitrary calls
+(only ``with self.<lock>:`` blocks and the helper exemption), and
+aliasing (``h = self._heap``) is invisible.  Both cost recall, not
+precision — this rule must hold the shipped repo clean without lying.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..diagnostics import Diagnostic, Severity
+from ..engine import ProjectRule, register
+from ..index import AttrAccess, ClassSummary, ModuleSummary, ProjectIndex
+
+__all__ = ["LockDisciplineRule"]
+
+
+def _guarded_attrs(cls: ClassSummary) -> Dict[str, Set[str]]:
+    """attr -> set of locks that some non-__init__ writer holds over it.
+
+    Two kinds of evidence mark an attribute guarded: a write under
+    ``with self.<lock>:`` directly, or a write inside a method that some
+    in-class caller invokes while holding the lock (the helper idiom —
+    the author clearly intends the attribute locked; whether *every*
+    caller holds it is then the enforcement question).
+    """
+    guarded: Dict[str, Set[str]] = {}
+    skip = cls.lock_attrs | cls.sync_attrs
+    # Locks held at any in-class call site, per callee method.
+    site_locks: Dict[str, Set[str]] = {}
+    for caller, calls in cls.self_calls.items():
+        for call, held in zip(calls, cls.self_call_held[caller]):
+            if held:
+                site_locks.setdefault(call.chain[-1], set()).update(held)
+    for method, accesses in cls.accesses.items():
+        if method == "__init__":
+            continue
+        for acc in accesses:
+            if acc.kind not in ("store", "mutate") or acc.attr in skip:
+                continue
+            if acc.held:
+                guarded.setdefault(acc.attr, set()).update(acc.held)
+            elif method in site_locks:
+                guarded.setdefault(acc.attr, set()).update(site_locks[method])
+    return guarded
+
+
+@register
+class LockDisciplineRule(ProjectRule):
+    id = "HC009"
+    name = "lock-discipline"
+    severity = Severity.ERROR
+    description = (
+        "attributes a threaded class guards with a Lock/RLock/Condition "
+        "must be accessed under that lock in every method"
+    )
+    scope = ("repro/service", "repro/fleet")
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Diagnostic]:
+        for mod in sorted(index.modules.values(), key=lambda m: m.relpath):
+            if not self.applies_to(mod.relpath):
+                continue
+            for cls in mod.classes.values():
+                if not cls.lock_attrs:
+                    continue
+                yield from self._check_class(index, mod, cls)
+
+    def _check_class(
+        self, index: ProjectIndex, mod: ModuleSummary, cls: ClassSummary
+    ) -> Iterator[Diagnostic]:
+        guarded = _guarded_attrs(cls)
+        if not guarded:
+            return
+        exempt_cache: Dict[Tuple[str, str], bool] = {}
+        for method in cls.methods:
+            if method == "__init__":
+                continue
+            for acc in cls.accesses.get(method, []):
+                locks = guarded.get(acc.attr)
+                if locks is None:
+                    continue
+                if set(acc.held) & locks:
+                    continue
+                if self._held_at_every_call_site(
+                    index, mod, cls, method, locks, exempt_cache
+                ):
+                    continue
+                yield self._violation(mod, cls, method, acc, locks)
+
+    def _held_at_every_call_site(
+        self,
+        index: ProjectIndex,
+        mod: ModuleSummary,
+        cls: ClassSummary,
+        method: str,
+        locks: Set[str],
+        cache: Dict[Tuple[str, str], bool],
+    ) -> bool:
+        """True for the lock-held helper idiom: a private method reached
+        only from in-class callers that already hold the lock."""
+        key = (cls.name, method)
+        if key in cache:
+            return cache[key]
+        cache[key] = False  # break self-recursion conservatively
+        if not method.startswith("_"):
+            return False
+        qualname = f"{mod.module}:{cls.name}.{method}"
+        in_class_prefix = f"{mod.module}:{cls.name}."
+        if any(
+            not caller.startswith(in_class_prefix)
+            for caller in index.callers_of(qualname)
+        ):
+            return False
+        sites: List[Tuple[str, Tuple[str, ...]]] = []
+        for caller_method, calls in cls.self_calls.items():
+            for call, held in zip(calls, cls.self_call_held[caller_method]):
+                if call.chain[-1] == method:
+                    sites.append((caller_method, held))
+        if not sites:
+            return False
+        ok = True
+        for caller_method, held in sites:
+            if set(held) & locks:
+                continue
+            if caller_method != method and self._held_at_every_call_site(
+                index, mod, cls, caller_method, locks, cache
+            ):
+                continue
+            ok = False
+            break
+        cache[key] = ok
+        return ok
+
+    def _violation(
+        self,
+        mod: ModuleSummary,
+        cls: ClassSummary,
+        method: str,
+        acc: AttrAccess,
+        locks: Set[str],
+    ) -> Diagnostic:
+        lock = sorted(locks)[0]
+        verb = {"load": "read", "store": "written", "mutate": "mutated"}[acc.kind]
+        return self.project_diagnostic(
+            mod.relpath,
+            acc.lineno,
+            acc.col,
+            f"'{cls.name}.{acc.attr}' is guarded by 'self.{lock}' elsewhere "
+            f"but {verb} in '{method}' without holding it; thread-shared "
+            f"state must stay under its lock (see docs/static_analysis.md#hc009)",
+        )

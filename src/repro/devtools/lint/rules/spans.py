@@ -1,0 +1,235 @@
+"""HC011 — recorder open/close pairing on all paths.
+
+The observability layer's runtime checker (OBS001–OBS009) verifies span
+pairing in *traces that were produced*; this rule verifies it in code
+paths that might never run in CI.  A ``Recorder`` bound with
+``bind_run(...)`` must statically reach ``finalize_run(...)`` on every
+non-exceptional exit of the function that opened it — otherwise a run can
+end with its recording silently truncated (no footer, invariants
+unverifiable).
+
+The check is an abstract interpretation of each function body tracking,
+per receiver chain (``self.recorder``), whether an open is pending and
+under which *guard condition* it happened.  Guards are matched by
+canonicalized AST equality, so the sanctioned idiom in
+``repro/rt/executor.py`` passes exactly:
+
+    if self.recorder is not None:
+        self.recorder.bind_run(self)        # open, guard G
+    ...
+    if self.recorder is not None:           # same canonical G
+        self.recorder.finalize_run(...)     # closes on the G-paths;
+                                            # not-G paths never opened
+
+Handled: if/else joins, try/finally (a close in ``finally`` always
+counts), loops (body analyzed once; an open that closes within the body
+is balanced), ``return`` anywhere.  Exception exits (``raise``) are
+deliberately not flagged — crash paths are the runtime checker's
+department.  Intra-procedural by design: an open handed to a helper for
+closing is invisible, and should be — pairing across functions makes the
+pairing impossible to audit locally.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..diagnostics import Diagnostic, Severity
+from ..engine import FileContext, Rule, register
+from ..index import dotted_chain
+
+__all__ = ["SpanPairingRule"]
+
+#: open-method -> close-method pairs the rule enforces.
+PAIRS = {"bind_run": "finalize_run"}
+_CLOSERS = frozenset(PAIRS.values())
+
+
+@dataclass(frozen=True)
+class _Open:
+    """A pending open: where it happened and under what guard (canonical)."""
+
+    lineno: int
+    col: int
+    method: str
+    guard: Optional[str]  # canonicalized condition, None = unconditional
+
+
+def _canon(expr: ast.AST) -> str:
+    return ast.dump(expr)
+
+
+_State = Dict[str, _Open]
+
+
+class _FunctionChecker:
+    """Abstract interpreter over one function body.
+
+    State: receiver chain -> _Open.  Statements are executed in order;
+    control flow joins by union (an open pending on *any* incoming path
+    stays pending).  ``return`` does not flag immediately — the state at
+    each return propagates upward as an *exit state* so enclosing
+    ``finally`` blocks get to discharge it first; whatever survives to
+    the function boundary is a violation.
+    """
+
+    def __init__(self) -> None:
+        self.violations: List[Tuple[_Open, str]] = []
+
+    def run(self, fn: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        state, exits = self._exec_block(fn.body, {})
+        flagged = set()
+        for exit_state in exits + [state]:
+            for receiver, op in exit_state.items():
+                if (receiver, op.lineno, op.col) not in flagged:
+                    flagged.add((receiver, op.lineno, op.col))
+                    self.violations.append((op, receiver))
+
+    # -- statement execution ----------------------------------------------
+
+    def _exec_block(
+        self, stmts: Sequence[ast.stmt], state: _State
+    ) -> Tuple[_State, List[_State]]:
+        exits: List[_State] = []
+        for stmt in stmts:
+            state, stmt_exits = self._exec_stmt(stmt, state)
+            exits.extend(stmt_exits)
+        return state, exits
+
+    def _exec_stmt(self, stmt: ast.stmt, state: _State) -> Tuple[_State, List[_State]]:
+        if isinstance(stmt, ast.Return):
+            return {}, [state]
+        if isinstance(stmt, ast.Raise):
+            return {}, []  # exceptional exit: runtime checker's territory
+        if isinstance(stmt, ast.If):
+            return self._exec_if(stmt, state)
+        if isinstance(stmt, ast.Try):
+            return self._exec_try(stmt, state)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            body_out, body_exits = self._exec_block(stmt.body, dict(state))
+            body_out, more = self._exec_block(stmt.orelse, body_out)
+            return self._join(state, body_out), body_exits + more
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                state = self._scan_expr(item.context_expr, state)
+            return self._exec_block(stmt.body, state)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return state, []  # nested defs are separate functions
+        # Plain statement: look for open/close calls inside it.
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                state = self._apply_call(node, state)
+        return state, []
+
+    def _scan_expr(self, expr: ast.AST, state: _State) -> _State:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                state = self._apply_call(node, state)
+        return state
+
+    def _apply_call(self, call: ast.Call, state: _State) -> _State:
+        if not isinstance(call.func, ast.Attribute):
+            return state
+        method = call.func.attr
+        if method not in PAIRS and method not in _CLOSERS:
+            return state
+        chain = dotted_chain(call.func.value)
+        if chain is None:
+            return state
+        receiver = ".".join(chain)
+        state = dict(state)
+        if method in PAIRS:
+            state[receiver] = _Open(call.lineno, call.col_offset, method, guard=None)
+        else:
+            state.pop(receiver, None)
+        return state
+
+    # -- control flow ------------------------------------------------------
+
+    def _exec_if(self, stmt: ast.If, state: _State) -> Tuple[_State, List[_State]]:
+        cond = _canon(stmt.test)
+        body_in: _State = {}
+        else_in: _State = {}
+        for recv, op in state.items():
+            if op.guard == cond:
+                # Condition re-tested: on the true branch the open is
+                # definitely pending; on the false branch it never happened.
+                body_in[recv] = _Open(op.lineno, op.col, op.method, guard=None)
+            else:
+                body_in[recv] = op
+                else_in[recv] = op
+        body_out, body_exits = self._exec_block(stmt.body, body_in)
+        else_out, else_exits = self._exec_block(stmt.orelse, else_in)
+        # Re-guard: an open born inside the if-body is conditional on `cond`.
+        joined: _State = {}
+        for recv, op in body_out.items():
+            if recv not in state and recv not in else_out and op.guard is None:
+                op = _Open(op.lineno, op.col, op.method, guard=cond)
+            joined[recv] = op
+        for recv, op in else_out.items():
+            if recv not in joined:
+                joined[recv] = op
+        return joined, body_exits + else_exits
+
+    def _exec_try(self, stmt: ast.Try, state: _State) -> Tuple[_State, List[_State]]:
+        body_out, body_exits = self._exec_block(stmt.body, dict(state))
+        body_out, more = self._exec_block(stmt.orelse, body_out)
+        body_exits += more
+        merged = dict(body_out)
+        inner_exits = list(body_exits)
+        for handler in stmt.handlers:
+            handler_out, handler_exits = self._exec_block(handler.body, dict(state))
+            merged = self._join(merged, handler_out)
+            inner_exits.extend(handler_exits)
+        out, out_exits = self._exec_block(stmt.finalbody, merged)
+        exits = list(out_exits)
+        # Every return that left the try/handlers still runs the finally;
+        # push each exit state through it before propagating upward.
+        for exit_state in inner_exits:
+            final_out, final_exits = self._exec_block(stmt.finalbody, dict(exit_state))
+            exits.append(final_out)
+            exits.extend(final_exits)
+        return out, exits
+
+    @staticmethod
+    def _join(a: _State, b: _State) -> _State:
+        joined = dict(a)
+        for recv, op in b.items():
+            joined.setdefault(recv, op)
+        return joined
+
+
+@register
+class SpanPairingRule(Rule):
+    id = "HC011"
+    name = "span-pairing"
+    severity = Severity.ERROR
+    description = (
+        "every recorder bind_run must statically reach finalize_run on "
+        "all non-exceptional paths of the opening function"
+    )
+    scope = None  # anyone may hold a recorder; the API is repo-wide
+
+    def check(self, tree: ast.Module, ctx: FileContext) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            checker = _FunctionChecker()
+            checker.run(node)
+            for op, receiver in checker.violations:
+                close = PAIRS[op.method]
+                yield Diagnostic(
+                    path=ctx.relpath,
+                    line=op.lineno,
+                    col=op.col + 1,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=(
+                        f"'{receiver}.{op.method}(...)' does not reach "
+                        f"'{receiver}.{close}(...)' on every path out of "
+                        f"'{node.name}'; a run could end with its recording "
+                        f"unfinalized (see docs/static_analysis.md#hc011)"
+                    ),
+                )

@@ -1,0 +1,80 @@
+"""SARIF 2.1.0 exporter.
+
+Static Analysis Results Interchange Format is what CI systems (GitHub
+code scanning among them) ingest to annotate PR diffs with findings.  We
+emit the minimal conformant document: one run, the tool's rule metadata
+from the live registry, and one result per diagnostic with a physical
+location.  Output is deterministic — diagnostics are sorted and keys are
+emitted in sorted order — so the artifact diffs cleanly between runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from .diagnostics import Diagnostic, Severity
+from .engine import get_rules
+
+__all__ = ["SARIF_VERSION", "to_sarif", "format_sarif"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "hclint"
+
+
+def _level(severity: Severity) -> str:
+    return "error" if severity is Severity.ERROR else "warning"
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic]) -> Dict[str, Any]:
+    """Build the SARIF document as plain dicts."""
+    rules: List[Dict[str, Any]] = [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description or rule.name},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        for rule in get_rules()
+    ]
+    results: List[Dict[str, Any]] = [
+        {
+            "ruleId": d.rule,
+            "level": _level(d.severity),
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": d.path},
+                        "region": {"startLine": d.line, "startColumn": d.col},
+                    }
+                }
+            ],
+        }
+        for d in sorted(diagnostics)
+    ]
+    return {
+        "$schema": _SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": "docs/static_analysis.md",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def format_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    return json.dumps(to_sarif(diagnostics), indent=2, sort_keys=True)

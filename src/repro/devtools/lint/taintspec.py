@@ -1,0 +1,106 @@
+"""What counts as a nondeterminism *source* — shared rule vocabulary.
+
+HC001/HC002/HC007 (per-file) and HC010 (whole-program taint) all agree on
+the same answer to "which expressions read the wall clock or the
+process-global RNG"; this module is that single answer, so the per-file
+bans and the inter-procedural taint analysis can never drift apart.
+Nothing here imports the engine — both the rules package and the project
+index (:mod:`repro.devtools.lint.index`) depend on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+__all__ = [
+    "WALL_CLOCK_TIME_ATTRS",
+    "WALL_CLOCK_DATETIME",
+    "GLOBAL_RANDOM_ATTRS",
+    "NUMPY_RANDOM_OK",
+    "taint_source_kind",
+]
+
+#: ``time`` module members that read (or block on) the wall clock.
+WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "clock",
+        "sleep",
+    }
+)
+
+#: ``(owner, attr)`` suffixes of datetime-style wall-clock constructors.
+WALL_CLOCK_DATETIME = frozenset(
+    {("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"), ("date", "today")}
+)
+
+#: Process-global sampling functions of the ``random`` module.
+GLOBAL_RANDOM_ATTRS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "getrandbits",
+        "uniform",
+        "triangular",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "vonmisesvariate",
+        "gammavariate",
+        "betavariate",
+        "paretovariate",
+        "weibullvariate",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "seed",
+        "setstate",
+    }
+)
+
+#: ``numpy.random`` members that are fine to *reference* (constructing an
+#: explicit generator); everything else on ``np.random`` is global state.
+NUMPY_RANDOM_OK = frozenset({"Generator", "SeedSequence", "BitGenerator", "PCG64"})
+
+
+def taint_source_kind(chain: Optional[Sequence[str]]) -> Optional[str]:
+    """Classify a *called* dotted chain as a nondeterminism source.
+
+    Returns ``"wall-clock"``, ``"global-rng"`` or ``None``.  The chain is
+    the called expression (``("time", "time")`` for ``time.time()``);
+    classification is call-position only — referencing ``time.time``
+    without calling it is not a source here (the per-file rules still flag
+    the attribute access inside the determinism boundary).
+    """
+    if not chain:
+        return None
+    parts: Tuple[str, ...] = tuple(chain)
+    if len(parts) == 2 and parts[0] == "time" and parts[1] in WALL_CLOCK_TIME_ATTRS:
+        return "wall-clock"
+    if len(parts) >= 2 and (parts[-2], parts[-1]) in WALL_CLOCK_DATETIME:
+        return "wall-clock"
+    # The sanctioned injectable stopwatch: its *result* is still wall time,
+    # so it taints whatever records it.
+    if parts[-1] == "default_timer":
+        return "wall-clock"
+    if len(parts) == 2 and parts[0] == "random" and parts[1] in GLOBAL_RANDOM_ATTRS:
+        return "global-rng"
+    if (
+        len(parts) >= 3
+        and parts[0] in ("np", "numpy")
+        and parts[1] == "random"
+        and parts[2] not in NUMPY_RANDOM_OK
+    ):
+        return "global-rng"
+    return None

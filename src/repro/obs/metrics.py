@@ -5,11 +5,18 @@ Instruments are created through the registry so one reduction pass (see
 :mod:`repro.obs.reduce`) yields a single JSON-ready snapshot; histogram
 bucket edges are fixed at creation so two reductions of the same recording
 are bit-identical and comparable across runs.
+
+Instruments are thread-safe: the job service updates them from HTTP
+handler threads and queue workers concurrently.  Each instrument carries
+its own lock so updates on different instruments never contend, and
+``to_dict`` snapshots under the lock so a reduction never observes a
+histogram whose ``counts`` and ``total`` disagree mid-``observe``.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -22,14 +29,17 @@ class Counter:
         self.name = name
         self.help = help
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
@@ -39,12 +49,15 @@ class Gauge:
         self.name = name
         self.help = help
         self.value: Optional[float] = None
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def to_dict(self) -> Dict[str, Any]:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
@@ -68,38 +81,43 @@ class Histogram:
         self.counts: List[int] = [0] * (len(edge_list) + 1)  # + overflow
         self.total = 0
         self.sum = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect.bisect_left(self.edges, value)] += 1
-        self.total += 1
-        self.sum += value
+        with self._lock:
+            self.counts[bisect.bisect_left(self.edges, value)] += 1
+            self.total += 1
+            self.sum += value
 
     @property
     def mean(self) -> float:
-        return self.sum / self.total if self.total else 0.0
+        with self._lock:
+            return self.sum / self.total if self.total else 0.0
 
     def quantile_bound(self, q: float) -> Optional[float]:
         """Upper bucket edge containing quantile ``q`` (None = overflow/empty)."""
         if not (0.0 <= q <= 1.0):
             raise ValueError("quantile must be in [0, 1]")
-        if self.total == 0:
-            return None
-        target = q * self.total
-        seen = 0
-        for edge, count in zip(self.edges, self.counts):
-            seen += count
-            if seen >= target:
-                return edge
-        return None  # lands in the overflow bucket
+        with self._lock:
+            if self.total == 0:
+                return None
+            target = q * self.total
+            seen = 0
+            for edge, count in zip(self.edges, self.counts):
+                seen += count
+                if seen >= target:
+                    return edge
+            return None  # lands in the overflow bucket
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
-            "type": "histogram",
-            "edges": list(self.edges),
-            "counts": list(self.counts),
-            "total": self.total,
-            "sum": self.sum,
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "edges": list(self.edges),
+                "counts": list(self.counts),
+                "total": self.total,
+                "sum": self.sum,
+            }
 
 
 class MetricsRegistry:
@@ -107,12 +125,14 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Any] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, kind: type, factory: Callable[[], Any]) -> Any:
-        instrument = self._instruments.get(name)
-        if instrument is None:
-            instrument = self._instruments[name] = factory()
-            return instrument
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = factory()
+                return instrument
         if not isinstance(instrument, kind):
             raise TypeError(
                 f"metric {name!r} already registered as {type(instrument).__name__}"
@@ -132,23 +152,32 @@ class MetricsRegistry:
         return hist
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def __getitem__(self, name: str) -> Any:
-        return self._instruments[name]
+        with self._lock:
+            return self._instruments[name]
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
+
+    def _snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._instruments)
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON snapshot, name-sorted for stable output."""
-        return {name: self._instruments[name].to_dict() for name in self.names()}
+        instruments = self._snapshot()
+        return {name: instruments[name].to_dict() for name in sorted(instruments)}
 
     def render_text(self) -> str:
         """Human-readable dump (one line per instrument)."""
+        instruments = self._snapshot()
         lines: List[str] = []
-        for name in self.names():
-            inst = self._instruments[name]
+        for name in sorted(instruments):
+            inst = instruments[name]
             if isinstance(inst, Counter):
                 lines.append(f"{name:32s} counter   {inst.value}")
             elif isinstance(inst, Gauge):

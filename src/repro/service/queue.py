@@ -237,9 +237,12 @@ class JobQueue:
                     self.metrics.gauge("service.workers_busy").set(
                         float(len(self._running))
                     )
+                    # Non-draining shutdown: stop between jobs, leave the
+                    # rest queued.  _drain is _cond-guarded state, so the
+                    # decision is taken under the lock.
+                    stop = self._shutdown.is_set() and not self._drain
                     self._cond.notify_all()
-            # Non-draining shutdown: stop between jobs, leave the rest queued.
-            if self._shutdown.is_set() and not self._drain:
+            if stop:
                 return
 
     def _run_one(self, job_id: str) -> None:
@@ -249,7 +252,9 @@ class JobQueue:
         job = ServiceJob(kind=row["kind"], payload=row["payload"], priority=row["priority"])
         self.store.set_job_state(job_id, "running")
         self.store.add_event(job_id, "state", {"state": "running"})
-        self.metrics.gauge("service.workers_busy").set(float(len(self._running)))
+        with self._cond:
+            busy = float(len(self._running))
+        self.metrics.gauge("service.workers_busy").set(busy)
 
         def emit(kind: str, payload: Dict[str, Any]) -> None:
             self.store.add_event(job_id, kind, payload)

@@ -1,0 +1,115 @@
+"""The content-hash analysis cache: hits, invalidation, and honesty.
+
+The invariant that matters: a warm run returns byte-identical
+diagnostics to a cold run, for every edit pattern.  Speed is measured by
+the ``lint_project`` bench; these tests pin correctness.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint import LintCache, run_lint
+from repro.devtools.lint.cache import CACHE_SCHEMA
+from repro.devtools.lint.engine import get_rules
+
+from .conftest import VIOLATION_FIXTURES, write_tree
+
+
+def _fingerprint():
+    return LintCache.make_fingerprint([r.id for r in get_rules()])
+
+
+def _fixture_tree(root):
+    write_tree(root, {rel: src for rel, (src, _, _) in VIOLATION_FIXTURES.items()})
+
+
+def test_warm_run_equals_cold_run(tmp_path):
+    _fixture_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    cold = run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+    assert cache_file.exists()
+    warm_cache = LintCache(cache_file, _fingerprint())
+    warm = run_lint([tmp_path], root=tmp_path, cache=warm_cache)
+    assert warm == cold
+    assert warm_cache.hits == len(VIOLATION_FIXTURES)
+    assert warm_cache.misses == 0
+    # ... and equals an entirely uncached run.
+    assert warm == run_lint([tmp_path], root=tmp_path)
+
+
+def test_edited_file_is_reanalyzed_others_hit(tmp_path):
+    _fixture_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+
+    # Fix the HC001 violation; the cached diagnostic must disappear.
+    target = tmp_path / "repro/rt/bad_clock.py"
+    target.write_text("def stamp():\n    return 0.0\n", encoding="utf-8")
+    cache = LintCache(cache_file, _fingerprint())
+    diags = run_lint([tmp_path], root=tmp_path, cache=cache)
+    assert cache.misses == 1
+    assert cache.hits == len(VIOLATION_FIXTURES) - 1
+    assert "repro/rt/bad_clock.py" not in {d.path for d in diags}
+    assert diags == run_lint([tmp_path], root=tmp_path)
+
+
+def test_fingerprint_mismatch_drops_cache(tmp_path):
+    _fixture_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+
+    stale = LintCache(cache_file, f"schema={CACHE_SCHEMA + 1};rules=HC001")
+    assert stale.lookup("repro/rt/bad_clock.py", "whatever") is None
+
+
+def test_project_pass_is_cached_and_invalidated(tmp_path):
+    # Whole-program diagnostics (HC009/HC010) must round-trip the cache
+    # and recompute when any file in the tree changes.
+    write_tree(
+        tmp_path,
+        {
+            "repro/fleet/clocks.py": (
+                "import time\n\ndef stamp():\n    return time.time()\n"
+            ),
+            "repro/fleet/writer.py": (
+                "from repro.fleet.clocks import stamp\n"
+                "\n"
+                "def record(store):\n"
+                '    store.append({"t": stamp()})\n'
+            ),
+        },
+    )
+    cache_file = tmp_path / "cache.json"
+    cold = run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+    assert [d.rule for d in cold] == ["HC010"]
+    warm = run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+    assert warm == cold
+
+    # Make the source function deterministic: the cross-file finding in
+    # the *unchanged* writer.py must disappear (no stale project cache).
+    (tmp_path / "repro/fleet/clocks.py").write_text(
+        "def stamp():\n    return 0.0\n", encoding="utf-8"
+    )
+    fixed = run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+    assert fixed == []
+
+
+def test_deleted_files_are_pruned(tmp_path):
+    _fixture_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+    (tmp_path / "repro/rt/bad_clock.py").unlink()
+    run_lint([tmp_path], root=tmp_path, cache=LintCache(cache_file, _fingerprint()))
+    payload = json.loads(cache_file.read_text(encoding="utf-8"))
+    assert "repro/rt/bad_clock.py" not in payload["files"]
+
+
+def test_corrupt_cache_file_means_cold_start(tmp_path):
+    _fixture_tree(tmp_path)
+    cache_file = tmp_path / "cache.json"
+    cache_file.write_text("{not json", encoding="utf-8")
+    cache = LintCache(cache_file, _fingerprint())
+    diags = run_lint([tmp_path], root=tmp_path, cache=cache)
+    assert diags == run_lint([tmp_path], root=tmp_path)
+    assert cache.hits == 0

@@ -1,0 +1,109 @@
+"""``hcperf lint --changed``: git-aware reporting over a full index."""
+
+from __future__ import annotations
+
+import subprocess
+
+import pytest
+
+from repro.devtools.lint.cli import main as lint_main
+
+from .conftest import VIOLATION_FIXTURES, write_tree
+
+
+def _git(tmp_path, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=tmp_path,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.invalid",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.invalid",
+            "HOME": str(tmp_path),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+@pytest.fixture
+def git_tree(tmp_path, monkeypatch):
+    write_tree(
+        tmp_path, {rel: src for rel, (src, _, _) in VIOLATION_FIXTURES.items()}
+    )
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_changed_reports_only_touched_files(git_tree, capsys):
+    # Touch one already-broken file; only its findings should be reported,
+    # even though the whole committed tree is full of violations.
+    target = git_tree / "repro/rt/bad_clock.py"
+    target.write_text(target.read_text(encoding="utf-8") + "\n# touched\n")
+    exit_code = lint_main(
+        ["--root", str(git_tree), "--no-cache", str(git_tree), "--changed"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "bad_clock.py" in out
+    assert "bad_rng.py" not in out
+    assert "1 error(s)" in out
+
+
+def test_changed_sees_untracked_files(git_tree, capsys):
+    write_tree(
+        git_tree,
+        {"repro/rt/fresh.py": "import time\n\ndef t():\n    return time.time()\n"},
+    )
+    exit_code = lint_main(
+        ["--root", str(git_tree), "--no-cache", str(git_tree), "--changed"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "fresh.py" in out and "bad_clock.py" not in out
+
+
+def test_changed_clean_when_nothing_touched(git_tree, capsys):
+    exit_code = lint_main(
+        ["--root", str(git_tree), "--no-cache", str(git_tree), "--changed"]
+    )
+    assert exit_code == 0
+    assert "no changed python files" in capsys.readouterr().out
+
+
+def test_changed_whole_program_rules_see_unchanged_files(git_tree, capsys):
+    # The cross-file HC010 pair: taint source committed and untouched, a
+    # *new* sink file calls it.  --changed must still resolve the call
+    # edge into the unchanged file.
+    write_tree(
+        git_tree,
+        {
+            "repro/fleet/new_sink.py": (
+                "from repro.fleet.bad_taint import stamp\n"
+                "\n"
+                "def log_to(store):\n"
+                '    store.append({"at": stamp()})\n'
+            )
+        },
+    )
+    exit_code = lint_main(
+        ["--root", str(git_tree), "--no-cache", str(git_tree), "--changed"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "new_sink.py" in out and "HC010" in out
+    # The pre-existing finding inside bad_taint.py itself is not re-reported.
+    assert "bad_taint.py:9" not in out
+
+
+def test_changed_outside_git_is_usage_error(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path.parent))
+    exit_code = lint_main(["--root", str(tmp_path), str(tmp_path), "--changed"])
+    assert exit_code == 2
+    assert "git" in capsys.readouterr().err

@@ -16,7 +16,7 @@ from repro.devtools.lint.cli import main as lint_main
 GOLDEN_JSON = """\
 {
   "counts": {
-    "error": 7,
+    "error": 10,
     "warning": 1
   },
   "diagnostics": [
@@ -38,10 +38,26 @@ GOLDEN_JSON = """\
     },
     {
       "col": 5,
+      "line": 9,
+      "message": "nondeterministic value reaches recording sink 'store.append' in 'record': 'stamp()' returns a value derived from the wall clock or global RNG (results must be a pure function of scenario/scheduler/seed; see docs/static_analysis.md#hc010)",
+      "path": "repro/fleet/bad_taint.py",
+      "rule": "HC010",
+      "severity": "error"
+    },
+    {
+      "col": 5,
       "line": 4,
       "message": "bare except: catches SystemExit/KeyboardInterrupt and hides worker failures; name the exception type",
       "path": "repro/fleet/bad_worker.py",
       "rule": "HC005",
+      "severity": "error"
+    },
+    {
+      "col": 5,
+      "line": 2,
+      "message": "'recorder.bind_run(...)' does not reach 'recorder.finalize_run(...)' on every path out of 'run'; a run could end with its recording unfinalized (see docs/static_analysis.md#hc011)",
+      "path": "repro/obs/bad_span.py",
+      "rule": "HC011",
       "severity": "error"
     },
     {
@@ -58,6 +74,14 @@ GOLDEN_JSON = """\
       "message": "TypoPolicy.on_windows looks like an executor hook but is not one (known hooks: desired_rates, on_dispatch_round, on_job_complete, on_job_miss, on_window, prepare, rank); it would never be called",
       "path": "repro/schedulers/bad_policy.py",
       "rule": "HC003",
+      "severity": "error"
+    },
+    {
+      "col": 20,
+      "line": 13,
+      "message": "'SharedBox._items' is guarded by 'self._lock' elsewhere but read in 'size' without holding it; thread-shared state must stay under its lock (see docs/static_analysis.md#hc009)",
+      "path": "repro/service/bad_lock.py",
+      "rule": "HC009",
       "severity": "error"
     },
     {
@@ -89,7 +113,6 @@ GOLDEN_JSON = """\
 }
 """
 
-
 def test_json_golden_output(violation_tree, capsys):
     exit_code = lint_main(
         ["--root", str(violation_tree), "--format", "json", str(violation_tree)]
@@ -99,7 +122,7 @@ def test_json_golden_output(violation_tree, capsys):
     # and it really is valid, versioned JSON
     payload = json.loads(GOLDEN_JSON)
     assert payload["version"] == 1
-    assert payload["counts"] == {"error": 7, "warning": 1}
+    assert payload["counts"] == {"error": 10, "warning": 1}
 
 
 def test_clean_tree_exits_zero(tmp_path, capsys):
@@ -152,6 +175,9 @@ def test_list_rules_names_every_rule(capsys):
         "HC006",
         "HC007",
         "HC008",
+        "HC009",
+        "HC010",
+        "HC011",
     ):
         assert rule_id in out
 

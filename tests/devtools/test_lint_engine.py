@@ -28,6 +28,9 @@ def test_shipped_rule_ids():
         "HC006",
         "HC007",
         "HC008",
+        "HC009",
+        "HC010",
+        "HC011",
     ]
 
 

@@ -1,0 +1,448 @@
+"""Whole-program rules HC009/HC010 and the path-sensitive HC011.
+
+The violation fixtures in conftest pin that each rule *fires*; these
+tests pin the boundary: the sanctioned idioms each rule must accept
+(lock-held helper methods, the executor's guarded bind/finalize pattern,
+devtools owning the stopwatch) and the inter-procedural cases that
+motivated the whole-program engine in the first place.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import run_lint
+
+from .conftest import write_tree
+
+
+def _rules(diags):
+    return [(d.path, d.line, d.rule) for d in diags]
+
+
+# ---------------------------------------------------------------------------
+# HC009 — lock discipline
+# ---------------------------------------------------------------------------
+
+
+def test_hc009_flags_each_unguarded_access_kind(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/service/box.py": (
+                "import threading\n"
+                "\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n"
+                "        self._count = 0\n"
+                "\n"
+                "    def add(self, item):\n"
+                "        with self._lock:\n"
+                "            self._items.append(item)\n"
+                "            self._count += 1\n"
+                "\n"
+                "    def racy_read(self):\n"
+                "        return len(self._items)\n"
+                "\n"
+                "    def racy_write(self):\n"
+                "        self._count = 0\n"
+                "\n"
+                "    def racy_mutate(self):\n"
+                "        self._items.clear()\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [
+        ("repro/service/box.py", 15, "HC009"),
+        ("repro/service/box.py", 18, "HC009"),
+        ("repro/service/box.py", 21, "HC009"),
+    ]
+
+
+def test_hc009_accepts_fully_locked_class_and_init(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/service/ok_box.py": (
+                "import threading\n"
+                "\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n"
+                "        self._items.append(0)  # pre-publication: no lock needed\n"
+                "\n"
+                "    def add(self, item):\n"
+                "        with self._lock:\n"
+                "            self._items.append(item)\n"
+                "\n"
+                "    def snapshot(self):\n"
+                "        with self._lock:\n"
+                "            return list(self._items)\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc009_accepts_lock_held_private_helper(tmp_path):
+    # The _locked-helper idiom: every in-class call site holds the lock
+    # and nothing outside the class calls it.
+    write_tree(
+        tmp_path,
+        {
+            "repro/service/helper.py": (
+                "import threading\n"
+                "\n"
+                "class Queue:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._heap = []\n"
+                "\n"
+                "    def push(self, x):\n"
+                "        with self._lock:\n"
+                "            self._push_locked(x)\n"
+                "\n"
+                "    def push_two(self, a, b):\n"
+                "        with self._lock:\n"
+                "            self._push_locked(a)\n"
+                "            self._push_locked(b)\n"
+                "\n"
+                "    def _push_locked(self, x):\n"
+                "        self._heap.append(x)\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc009_rejects_helper_with_an_unlocked_call_site(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/service/leaky.py": (
+                "import threading\n"
+                "\n"
+                "class Queue:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._heap = []\n"
+                "\n"
+                "    def push(self, x):\n"
+                "        with self._lock:\n"
+                "            self._push_locked(x)\n"
+                "\n"
+                "    def sneak(self, x):\n"
+                "        self._push_locked(x)  # no lock held here\n"
+                "\n"
+                "    def _push_locked(self, x):\n"
+                "        self._heap.append(x)\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/service/leaky.py", 16, "HC009")]
+
+
+def test_hc009_sync_primitives_are_not_guarded_state(tmp_path):
+    # Events/semaphores are synchronization objects themselves; touching
+    # them outside the lock is the point, not a race.
+    write_tree(
+        tmp_path,
+        {
+            "repro/service/ev.py": (
+                "import threading\n"
+                "\n"
+                "class Worker:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._stop = threading.Event()\n"
+                "        self._jobs = []\n"
+                "\n"
+                "    def add(self, j):\n"
+                "        with self._lock:\n"
+                "            self._jobs.append(j)\n"
+                "            self._stop.clear()\n"
+                "\n"
+                "    def shutdown(self):\n"
+                "        self._stop.set()\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc009_out_of_scope_packages_are_exempt(tmp_path):
+    # Same racy class under repro/rt: HC009's jurisdiction is the
+    # threaded layers (service/fleet) only.
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/box.py": (
+                "import threading\n"
+                "\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._items = []\n"
+                "\n"
+                "    def add(self, item):\n"
+                "        with self._lock:\n"
+                "            self._items.append(item)\n"
+                "\n"
+                "    def size(self):\n"
+                "        return len(self._items)\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# HC010 — determinism taint
+# ---------------------------------------------------------------------------
+
+
+def test_hc010_cross_module_leak_is_found(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/fleet/clocks.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+            ),
+            "repro/fleet/writer.py": (
+                "from repro.fleet.clocks import stamp\n"
+                "\n"
+                "def record(store):\n"
+                "    started = stamp()\n"
+                '    store.append({"started": started})\n'
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/fleet/writer.py", 5, "HC010")]
+    assert "started" in diags[0].message
+
+
+def test_hc010_taint_propagates_through_two_call_edges(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/fleet/deep.py": (
+                "import time\n"
+                "\n"
+                "def raw():\n"
+                "    return time.time()\n"
+                "\n"
+                "def wrapped():\n"
+                "    return raw() * 1000.0\n"
+                "\n"
+                "def record(store):\n"
+                '    store.append({"ms": wrapped()})\n'
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/fleet/deep.py", 10, "HC010")]
+
+
+def test_hc010_clean_counterpart_simulated_time(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/fleet/ok_writer.py": (
+                "def record(store, executor):\n"
+                '    store.append({"t": executor.now})\n'
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc010_recorder_sinks_are_covered(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/experiments/ann.py": (
+                "import time\n"
+                "\n"
+                "def note(recorder):\n"
+                "    recorder.annotate(when=time.time())\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/experiments/ann.py", 4, "HC010")]
+
+
+def test_hc010_devtools_owns_the_stopwatch(tmp_path):
+    # The bench runner measures wall time and writes it to reports by
+    # design; repro/devtools is out of HC010 scope.
+    write_tree(
+        tmp_path,
+        {
+            "repro/devtools/runner.py": (
+                "import time\n"
+                "\n"
+                "def measure(store, fn):\n"
+                "    t0 = time.perf_counter()\n"
+                "    fn()\n"
+                '    store.append({"wall_s": time.perf_counter() - t0})\n'
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc010_suppression_works_on_the_sink_line(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/fleet/supp.py": (
+                "import time\n"
+                "\n"
+                "def stamp():\n"
+                "    return time.time()\n"
+                "\n"
+                "def record(store):\n"
+                '    store.append({"t": stamp()})  # hclint: disable=HC010\n'
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+# ---------------------------------------------------------------------------
+# HC011 — span pairing
+# ---------------------------------------------------------------------------
+
+
+def test_hc011_accepts_the_guarded_executor_idiom(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/okguard.py": (
+                "class Runner:\n"
+                "    def run(self):\n"
+                "        if self.recorder is not None:\n"
+                "            self.recorder.bind_run(self)\n"
+                "        result = self.step()\n"
+                "        if self.recorder is not None:\n"
+                "            self.recorder.finalize_run(result)\n"
+                "        return result\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc011_accepts_try_finally(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/okfinally.py": (
+                "def run(recorder, fn):\n"
+                "    recorder.bind_run(fn)\n"
+                "    try:\n"
+                "        return fn()\n"
+                "    finally:\n"
+                "        recorder.finalize_run(fn)\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc011_flags_missing_close_at_function_end(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/noclose.py": (
+                "def run(recorder, fn):\n"
+                "    recorder.bind_run(fn)\n"
+                "    fn()\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/rt/noclose.py", 2, "HC011")]
+
+
+def test_hc011_flags_close_on_only_one_branch(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/onebranch.py": (
+                "def run(recorder, fn, fast):\n"
+                "    recorder.bind_run(fn)\n"
+                "    if fast:\n"
+                "        recorder.finalize_run(fn)\n"
+                "        return 1\n"
+                "    return 0\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/rt/onebranch.py", 2, "HC011")]
+
+
+def test_hc011_different_guards_do_not_discharge(tmp_path):
+    # Opening under one condition and closing under a *different* one is
+    # exactly the bug the canonical-guard matching must not excuse.
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/mismatch.py": (
+                "class Runner:\n"
+                "    def run(self):\n"
+                "        if self.recorder is not None:\n"
+                "            self.recorder.bind_run(self)\n"
+                "        result = self.step()\n"
+                "        if self.verbose:\n"
+                "            self.recorder.finalize_run(result)\n"
+                "        return result\n"
+            ),
+        },
+    )
+    diags = run_lint([tmp_path], root=tmp_path)
+    assert _rules(diags) == [("repro/rt/mismatch.py", 4, "HC011")]
+
+
+def test_hc011_loop_balanced_open_close_is_clean(tmp_path):
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/loop.py": (
+                "def run_all(recorder, jobs):\n"
+                "    for job in jobs:\n"
+                "        recorder.bind_run(job)\n"
+                "        job()\n"
+                "        recorder.finalize_run(job)\n"
+                "    return len(jobs)\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []
+
+
+def test_hc011_raise_paths_are_not_flagged(tmp_path):
+    # Exception exits are the runtime trace checker's department.
+    write_tree(
+        tmp_path,
+        {
+            "repro/rt/raising.py": (
+                "def run(recorder, fn):\n"
+                "    recorder.bind_run(fn)\n"
+                "    if fn is None:\n"
+                "        raise ValueError(\"no fn\")\n"
+                "    out = fn()\n"
+                "    recorder.finalize_run(fn)\n"
+                "    return out\n"
+            ),
+        },
+    )
+    assert run_lint([tmp_path], root=tmp_path) == []

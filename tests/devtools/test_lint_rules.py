@@ -7,14 +7,16 @@ each rule catches; the clean-counterpart tests pin what each rule must
 
 from __future__ import annotations
 
-from repro.devtools.lint import Severity, lint_file, run_lint
+from repro.devtools.lint import Severity, run_lint
 
 from .conftest import VIOLATION_FIXTURES, write_tree
 
 
 def test_every_rule_fires_once_on_its_fixture(violation_tree):
+    # run_lint (not lint_file) so the whole-program rules participate;
+    # every fixture is deliberately self-contained in one file.
     for relpath, (_, rule, line) in VIOLATION_FIXTURES.items():
-        diags = lint_file(violation_tree / relpath, root=violation_tree)
+        diags = run_lint([violation_tree / relpath], root=violation_tree)
         assert [(d.rule, d.line) for d in diags] == [(rule, line)], relpath
 
 
