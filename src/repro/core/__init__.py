@@ -11,8 +11,9 @@
 """
 
 from .ade import AlgebraicDifferentiator
-from .coordinator import HCPerfConfig, HierarchicalCoordinator
+from .coordinator import GammaHistory, HCPerfConfig, HierarchicalCoordinator
 from .dynamic_priority import (
+    GAMMA_SEARCH_MODES,
     DynamicPriorityConfig,
     DynamicPriorityPolicy,
     GammaSearchResult,
@@ -22,8 +23,10 @@ from .rate_adapter import RateAdapterConfig, TaskRateAdapter
 
 __all__ = [
     "AlgebraicDifferentiator",
+    "GammaHistory",
     "HCPerfConfig",
     "HierarchicalCoordinator",
+    "GAMMA_SEARCH_MODES",
     "DynamicPriorityConfig",
     "DynamicPriorityPolicy",
     "GammaSearchResult",

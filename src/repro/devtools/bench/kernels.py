@@ -19,9 +19,11 @@ __all__ = [
     "executor_sim",
     "make_hungarian_cost",
     "hungarian_kernel",
+    "hungarian_batch_kernel",
     "fusion_detections",
     "fusion_kernel",
     "coordination_overhead",
+    "gamma_resolve",
     "fleet_multi_seed_smoke",
     "lint_project",
 ]
@@ -66,6 +68,41 @@ def hungarian_kernel(n: int = 40, repeats: int = 5) -> Dict[str, float]:
     for _ in range(repeats):
         assignment = hungarian(cost)
     return {"n": float(n), "repeats": float(repeats), "assigned": float(len(assignment))}
+
+
+def hungarian_batch_kernel(
+    n: int = 24, batch: int = 64, repeats: int = 2
+) -> Dict[str, float]:
+    """Per-matrix vs batched assignment over ``batch`` obstacle sets.
+
+    The fleet-scale fusion shape: many vehicles' cost matrices solved per
+    tick.  Self-timed (the kernel *is* the comparison): one scalar loop vs
+    one :func:`~repro.perception.hungarian.hungarian_batch` call over the
+    stacked tensor, with the pair lists cross-checked for exact equality
+    (the batched solver is bitwise-equivalent to the scalar one).
+    """
+    from timeit import default_timer
+
+    from ...perception import hungarian, hungarian_batch
+
+    costs = [make_hungarian_cost(n, seed=s) for s in range(batch)]
+    scalar_s = batch_s = float("inf")
+    for _ in range(repeats):
+        t0 = default_timer()
+        want = [hungarian(cost) for cost in costs]
+        scalar_s = min(scalar_s, default_timer() - t0)
+        t0 = default_timer()
+        got = hungarian_batch(costs)
+        batch_s = min(batch_s, default_timer() - t0)
+        if got != want:
+            raise RuntimeError("hungarian_batch disagrees with per-matrix hungarian")
+    return {
+        "n": float(n),
+        "batch": float(batch),
+        "scalar_ms": scalar_s * 1000,
+        "batch_ms": batch_s * 1000,
+        "speedup": scalar_s / batch_s if batch_s > 0 else 0.0,
+    }
 
 
 def fusion_detections(n: int, seed: int = 0):
@@ -119,6 +156,56 @@ def coordination_overhead(iterations: int = 200, queue_depth: int = 24) -> Dict[
         "rate_adapter_step_ms": rate_ms,
         "coordination_step_ms": step_ms,
         "per_second_budget_ms": step_ms * 2.0,
+    }
+
+
+# ----------------------------------------------------------------------
+# γ_max search: scalar oracle vs vectorized grid (the §VII-E hot path)
+# ----------------------------------------------------------------------
+def gamma_resolve(queue_depth: int = 24, iterations: int = 50) -> Dict[str, float]:
+    """Scalar vs vectorized γ_max resolution on an overloaded ready queue.
+
+    Replays the §VII-E overhead workload (same queue builder, same call as
+    ``experiments.overhead``): the queue is overloaded at the sampled
+    instant, so every search walks the full 64-point grid — the worst case
+    the vectorized path was built for.  Self-timed like ``lint_project``
+    (this kernel *is* the comparison); results are cross-checked every
+    iteration, so the bench doubles as an oracle-agreement canary.  The
+    ``speedup`` metric is the ROADMAP's acceptance bar (>= 5x, target 10x).
+    """
+    from timeit import default_timer
+
+    from ...core.dynamic_priority import DynamicPriorityConfig, DynamicPriorityPolicy
+    from ...experiments.overhead import _make_queue
+
+    jobs = _make_queue(queue_depth, seed=0)
+    now, busy, n_procs = 0.06, 0.02, 2
+
+    def estimate(job) -> float:  # type: ignore[no-untyped-def]
+        return job.exec_time
+
+    timings: Dict[str, float] = {}
+    results = {}
+    for mode in ("scalar", "vectorized", "breakpoint"):
+        policy = DynamicPriorityPolicy(DynamicPriorityConfig(mode=mode))
+        results[mode] = policy.resolve(0.06, jobs, now, estimate, busy, n_procs)
+        t0 = default_timer()
+        for _ in range(iterations):
+            res = policy.resolve(0.06, jobs, now, estimate, busy, n_procs)
+            if res != results[mode]:
+                raise RuntimeError(f"{mode} γ search is not deterministic")
+        timings[mode] = (default_timer() - t0) / iterations * 1000
+    if not (results["scalar"] == results["vectorized"] == results["breakpoint"]):
+        raise RuntimeError(f"γ search modes disagree: {results}")
+    return {
+        "queue_depth": float(queue_depth),
+        "iterations": float(iterations),
+        "scalar_ms": timings["scalar"],
+        "vectorized_ms": timings["vectorized"],
+        "breakpoint_ms": timings["breakpoint"],
+        "speedup": timings["scalar"] / timings["vectorized"]
+        if timings["vectorized"] > 0
+        else 0.0,
     }
 
 
@@ -264,6 +351,20 @@ register_bench(BenchSpec(
     name="coordination_step",
     fn=lambda: coordination_overhead(iterations=200),
     description="Full hierarchical-coordination step, 24-job queue (x200)",
+    rounds=3,
+    suites=("smoke", "full"),
+))
+register_bench(BenchSpec(
+    name="gamma_resolve",
+    fn=lambda: gamma_resolve(queue_depth=24, iterations=50),
+    description="γ_max search, 24-job overloaded queue: scalar vs vectorized (x50)",
+    rounds=3,
+    suites=("smoke", "full"),
+))
+register_bench(BenchSpec(
+    name="hungarian_batch",
+    fn=lambda: hungarian_batch_kernel(n=24, batch=64),
+    description="Batched Hungarian, 64 stacked 24x24 cost matrices vs scalar loop",
     rounds=3,
     suites=("smoke", "full"),
 ))

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core import HCPerfConfig, HierarchicalCoordinator
+from repro.core import GammaHistory, HCPerfConfig, HierarchicalCoordinator
+from repro.obs.metrics import MetricsRegistry
 from repro.rt import ConstantExecTime, ExecTimeObserver, Job, TaskSpec
 
 
@@ -41,6 +42,56 @@ class TestInternalCoordinator:
         result = c.resolve_gamma(0.0, doomed, lambda j: j.exec_time, 0.0, 1)
         assert result.overloaded
         assert c.overload_windows == 1
+
+
+class TestGammaHistoryRing:
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            GammaHistory(0)
+        with pytest.raises(ValueError):
+            HCPerfConfig(gamma_history_limit=0)
+
+    def test_list_like_behaviour(self):
+        ring = GammaHistory(8)
+        ring.append((0.0, 0.1))
+        ring.append((0.5, 0.2))
+        assert len(ring) == 2
+        assert ring[0] == (0.0, 0.1) and ring[-1] == (0.5, 0.2)
+        assert ring[:1] == [(0.0, 0.1)]
+        assert list(ring) == [(0.0, 0.1), (0.5, 0.2)]
+        assert ring == [(0.0, 0.1), (0.5, 0.2)]
+
+    def test_eviction_keeps_newest_and_counts(self):
+        ring = GammaHistory(3)
+        for i in range(5):
+            ring.append((float(i), 0.0))
+        assert len(ring) == 3
+        assert ring.total == 5 and ring.dropped == 2
+        assert [t for t, _ in ring] == [2.0, 3.0, 4.0]
+
+    def test_clear_resets_counters(self):
+        ring = GammaHistory(2)
+        for i in range(4):
+            ring.append((float(i), 0.0))
+        ring.clear()
+        assert len(ring) == 0 and ring.total == 0 and ring.dropped == 0
+
+    def test_coordinator_bounds_history_and_reports_metric(self):
+        metrics = MetricsRegistry()
+        c = HierarchicalCoordinator(
+            HCPerfConfig(gamma_history_limit=4), metrics=metrics
+        )
+        jobs = [job(exec_time=0.001, deadline=1.0)]
+        for i in range(10):
+            c.resolve_gamma(i * 0.01, jobs, lambda j: j.exec_time, 0.0, 2)
+        assert len(c.gamma_history) == 4
+        assert c.gamma_history.total == 10
+        assert c.gamma_history.dropped == 6
+        assert metrics.counter("gamma_history_dropped").value == 6
+
+    def test_default_limit_is_generous(self):
+        c = HierarchicalCoordinator()
+        assert c.gamma_history.limit == HCPerfConfig().gamma_history_limit >= 65536
 
 
 class TestExternalCoordinator:
