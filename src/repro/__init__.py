@@ -56,7 +56,7 @@ from .experiments.runner import (
 )
 from .faults import FaultSpec, InjectionHarness, ResilienceReport, run_resilience
 from .fleet import CampaignSpec, ResultStore, render_store, run_campaign
-from .rt import RTExecutor, SimConfig, TaskGraph, TaskSpec
+from .rt import ProcessorProfile, RTExecutor, SimConfig, TaskGraph, TaskSpec, UnitSpec
 from .schedulers import SCHEDULERS, Scheduler, make_scheduler
 from .workloads import (
     SCENARIOS,
@@ -91,6 +91,8 @@ __all__ = [
     "ResultStore",
     "render_store",
     "run_campaign",
+    "ProcessorProfile",
+    "UnitSpec",
     "RTExecutor",
     "SimConfig",
     "TaskGraph",

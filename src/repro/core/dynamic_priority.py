@@ -390,7 +390,7 @@ class DynamicPriorityPolicy:
         now: float,
         exec_estimate: Callable[[Job], float],
     ) -> List[float]:
-        """The pairwise γ crossings of Eq. (10) inside ``(0, gamma_cap)``.
+        """The pairwise γ crossings of Eq. (10) inside ``[0, gamma_cap]``.
 
         ``P_i(γ) = P_j(γ)`` at ``γ* = (d_j − d_i)/(p_i − p_j)`` for jobs of
         unequal configured priority; the induced ordering — and with it the
@@ -405,8 +405,12 @@ class DynamicPriorityPolicy:
         with np.errstate(divide="ignore", invalid="ignore"):
             cross = ds / dp
         keep = (dp != 0) & np.isfinite(cross)
-        keep &= (cross > 0.0) & (cross < self.config.gamma_cap)
-        return np.unique(cross[keep])
+        # Closed interval: γ=0 and γ=gamma_cap are grid points, and a
+        # crossing landing exactly on one changes its tie grouping relative
+        # to the adjacent segment's interior (tied jobs exempt each other
+        # from Eq. (11) backlog), so the endpoints need their own verdicts.
+        keep &= (cross >= 0.0) & (cross <= self.config.gamma_cap)
+        return np.unique(np.abs(cross[keep]))
 
     def _gamma_max_breakpoint(
         self,

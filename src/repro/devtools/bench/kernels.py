@@ -17,6 +17,8 @@ from .registry import BenchSpec, register_bench
 
 __all__ = [
     "executor_sim",
+    "typed_dispatch",
+    "newest_only_activation",
     "make_hungarian_cost",
     "hungarian_kernel",
     "hungarian_batch_kernel",
@@ -46,6 +48,57 @@ def executor_sim(scheduler: str = "EDF", horizon: float = 5.0) -> Dict[str, floa
     metrics = executor.run()
     return {
         "tasks_finished": float(metrics.total_finished),
+        "miss_ratio": float(metrics.overall_miss_ratio),
+    }
+
+
+def typed_dispatch(scheduler: str = "EDF", horizon: float = 5.0) -> Dict[str, float]:
+    """Simulate the GPU-typed graph on a ``2xCPU+1xGPU@3`` platform.
+
+    The heterogeneous counterpart of :func:`executor_sim`: every dispatch
+    runs the affinity filter and the per-unit speedup scaling, so the bench
+    prices the typed-platform overhead against the scalar baseline.
+    """
+    from ...rt import RTExecutor, SimConfig
+    from ...schedulers import SCHEDULERS
+    from ...workloads import heterogeneous_task_graph
+
+    executor = RTExecutor(
+        heterogeneous_task_graph(),
+        SCHEDULERS[scheduler](),
+        SimConfig(processor_profile="2xCPU+1xGPU@3", horizon=horizon,
+                  coordination_period=0.5, seed=0),
+    )
+    metrics = executor.run()
+    return {
+        "tasks_finished": float(metrics.total_finished),
+        "miss_ratio": float(metrics.overall_miss_ratio),
+    }
+
+
+def newest_only_activation(scheduler: str = "EDF", horizon: float = 5.0) -> Dict[str, float]:
+    """Simulate the full graph with fusion on newest-only activation.
+
+    Fusion fires on every fresh detector output instead of waiting for the
+    AND-join, multiplying its release rate — the activation hot path this
+    bench keeps honest.
+    """
+    from ...rt import RTExecutor, SimConfig
+    from ...schedulers import SCHEDULERS
+    from ...workloads import full_task_graph
+    from ...workloads.profiles import FUSION_TASK
+
+    graph = full_task_graph()
+    graph.task(FUSION_TASK).activation = "newest-only"
+    executor = RTExecutor(
+        graph,
+        SCHEDULERS[scheduler](),
+        SimConfig(n_processors=2, horizon=horizon, coordination_period=0.5, seed=0),
+    )
+    metrics = executor.run()
+    return {
+        "tasks_finished": float(metrics.total_finished),
+        "fusion_released": float(metrics.per_task[FUSION_TASK].released),
         "miss_ratio": float(metrics.overall_miss_ratio),
     }
 
@@ -329,6 +382,22 @@ register_bench(BenchSpec(
     name="executor_hcperf",
     fn=lambda: executor_sim("HCPerf", horizon=5.0),
     description="RTExecutor, 23-task graph, 5 simulated s under HCPerf",
+    rounds=3,
+    suites=("smoke", "full"),
+    sim_seconds=5.0,
+))
+register_bench(BenchSpec(
+    name="typed_dispatch",
+    fn=lambda: typed_dispatch("EDF", horizon=5.0),
+    description="RTExecutor, GPU-typed graph on 2xCPU+1xGPU@3, 5 simulated s",
+    rounds=3,
+    suites=("smoke", "full"),
+    sim_seconds=5.0,
+))
+register_bench(BenchSpec(
+    name="newest_only_activation",
+    fn=lambda: newest_only_activation("EDF", horizon=5.0),
+    description="RTExecutor, fusion on newest-only activation, 5 simulated s",
     rounds=3,
     suites=("smoke", "full"),
     sim_seconds=5.0,

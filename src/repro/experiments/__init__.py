@@ -14,6 +14,7 @@ from . import (
     fig15_hardware,
     fig17_responsiveness,
     fig18_ablation,
+    heterogeneous,
     multi_seed,
     overhead,
     resilience,
@@ -34,6 +35,7 @@ EXPERIMENTS = {
         fig15_hardware,
         fig17_responsiveness,
         fig18_ablation,
+        heterogeneous,
         overhead,
         resilience,
     )
@@ -56,6 +58,7 @@ __all__ = [
     "fig15_hardware",
     "fig17_responsiveness",
     "fig18_ablation",
+    "heterogeneous",
     "overhead",
     "resilience",
 ]

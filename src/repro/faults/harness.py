@@ -243,15 +243,27 @@ class InjectionHarness:
     def _wire_processor_failure(
         self, executor: RTExecutor, fault: ProcessorFailure
     ) -> None:
-        if fault.processor >= executor.config.n_processors:
+        if fault.unit is not None:
+            # Typed addressing: resolve "the k-th unit of this type" to an
+            # absolute index once, at attach time, so the fault timeline is
+            # fixed even if availability changes mid-run.
+            try:
+                index = executor.typed_processor_index(fault.unit, fault.processor)
+            except ValueError as exc:
+                raise ValueError(f"processor_failure: {exc}") from exc
+            label = f"processor={index} ({fault.unit}[{fault.processor}])"
+        elif fault.processor >= executor.config.n_processors:
             raise ValueError(
                 f"processor_failure targets processor {fault.processor}, "
                 f"platform has {executor.config.n_processors}"
             )
+        else:
+            index = fault.processor
+            label = f"processor={index}"
 
         def fail(t: float) -> None:
-            victim = executor.set_processor_available(fault.processor, False)
-            detail = f"processor={fault.processor}"
+            victim = executor.set_processor_available(index, False)
+            detail = label
             if victim is not None:
                 detail += f" killed={victim.task.name}#{victim.cycle}"
             self._log(t, fault.kind, f"fail {detail}")
@@ -260,8 +272,8 @@ class InjectionHarness:
         if fault.t_recover is not None:
 
             def recover(t: float) -> None:
-                executor.set_processor_available(fault.processor, True)
-                self._log(t, fault.kind, f"recover processor={fault.processor}")
+                executor.set_processor_available(index, True)
+                self._log(t, fault.kind, f"recover {label}")
 
             executor.at(fault.t_recover, f"fault:{fault.kind}:recover", recover)
 

@@ -156,11 +156,19 @@ class ProcessorFailure:
 
     The in-flight job (if any) is killed and counted as a dropped miss.
     ``t_recover=None`` means the processor never comes back.
+
+    ``unit=None`` addresses the platform by absolute processor index (the
+    homogeneous convention).  With ``unit`` set (e.g. ``"GPU"``),
+    ``processor`` is instead the *within-type ordinal* on a typed
+    :class:`~repro.rt.resources.ProcessorProfile` platform — ``unit="GPU",
+    processor=0`` kills the first GPU wherever it sits in the profile, so
+    specs stay valid when the CPU/GPU mix changes.
     """
 
     processor: int
     t_fail: float
     t_recover: Optional[float] = None
+    unit: Optional[str] = None
 
     kind = "processor_failure"
 

@@ -21,6 +21,7 @@ __all__ = ["OVERRIDE_KEYS", "CampaignSpec", "load_spec"]
 OVERRIDE_KEYS = {
     "horizon": "simulated horizon (s)",
     "n_processors": "processor count",
+    "processor_profile": 'typed platform, e.g. "2xCPU+1xGPU@3"',
     "coordination_period": "coordination period (s)",
     "fusion_normal_ms": "fusion cost outside the elevated window (ms)",
     "fusion_elevated_ms": "fusion cost inside the elevated window (ms)",

@@ -42,6 +42,10 @@ def build_scenario(name: str, overrides: Mapping[str, object]) -> Scenario:
     sim_patch: Dict[str, object] = {}
     if "n_processors" in overrides:
         sim_patch["n_processors"] = int(overrides["n_processors"])
+    if "processor_profile" in overrides:
+        # Kept as the canonical string form: SimConfig coerces it, and the
+        # string keeps job dicts JSON-plain and hash-stable.
+        sim_patch["processor_profile"] = str(overrides["processor_profile"])
     if "coordination_period" in overrides:
         sim_patch["coordination_period"] = float(overrides["coordination_period"])
     if sim_patch:

@@ -78,6 +78,11 @@ class SpanEvent(TraceEvent):
 
     ``outcome`` is ``complete`` (finished within the deadline), ``miss``
     (finished late) or ``kill`` (cut short by a processor failure).
+    ``unit`` is the processor's unit type on typed
+    :class:`~repro.rt.resources.ProcessorProfile` platforms; ``None`` —
+    and absent from the serialized form — on homogeneous platforms, so
+    identity-profile recordings are byte-identical to pre-typed-model
+    ones (the differential-suite contract).
     """
 
     task: str = ""
@@ -88,6 +93,7 @@ class SpanEvent(TraceEvent):
     release: float = 0.0
     deadline: float = 0.0
     outcome: str = "complete"
+    unit: Optional[str] = None
 
     kind = "span"
 
@@ -96,7 +102,7 @@ class SpanEvent(TraceEvent):
             raise ValueError(f"unknown span outcome {self.outcome!r}")
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "ev": self.kind,
             "t": self.t,
             "task": self.task,
@@ -108,6 +114,9 @@ class SpanEvent(TraceEvent):
             "deadline": self.deadline,
             "outcome": self.outcome,
         }
+        if self.unit is not None:
+            out["unit"] = self.unit
+        return out
 
 
 @dataclass(frozen=True)

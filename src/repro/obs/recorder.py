@@ -82,7 +82,14 @@ class Recorder:
             )
         )
 
-    def span(self, job: "Job", processor: int, outcome: str, finish: float) -> None:
+    def span(
+        self,
+        job: "Job",
+        processor: int,
+        outcome: str,
+        finish: float,
+        unit: Optional[str] = None,
+    ) -> None:
         start = job.start_time if job.start_time is not None else finish
         self.emit(
             SpanEvent(
@@ -95,6 +102,7 @@ class Recorder:
                 release=job.release_time,
                 deadline=job.absolute_deadline,
                 outcome=outcome,
+                unit=unit,
             )
         )
 
@@ -153,28 +161,43 @@ class Recorder:
         self.meta.update(fields)
 
     def bind_run(self, executor: "RTExecutor") -> None:
-        """Capture platform metadata from the executor at run start."""
+        """Capture platform metadata from the executor at run start.
+
+        Typed-platform fields (``processor_profile`` in the run meta,
+        ``affinity``/``speedup``/``activation`` per task) appear only when
+        they deviate from the homogeneous defaults: an identity-profile
+        run's metadata is byte-identical to a pre-typed-model recording.
+        """
         cfg = executor.config
+        tasks: List[Dict[str, Any]] = []
+        for spec in executor.graph:
+            entry: Dict[str, Any] = {
+                "name": spec.name,
+                "priority": spec.priority,
+                "relative_deadline": spec.relative_deadline,
+                "rate": spec.rate,
+                "rate_range": (
+                    list(spec.rate_range) if spec.rate_range is not None else None
+                ),
+            }
+            if spec.affinity is not None:
+                entry["affinity"] = sorted(spec.affinity)
+            if spec.speedup:
+                entry["speedup"] = dict(spec.speedup)
+            if spec.activation != "all-inputs":
+                entry["activation"] = spec.activation
+            tasks.append(entry)
         self.meta.update(
             {
                 "n_processors": cfg.n_processors,
                 "horizon": cfg.horizon,
                 "coordination_period": cfg.coordination_period,
                 "seed": cfg.seed,
-                "tasks": [
-                    {
-                        "name": spec.name,
-                        "priority": spec.priority,
-                        "relative_deadline": spec.relative_deadline,
-                        "rate": spec.rate,
-                        "rate_range": (
-                            list(spec.rate_range) if spec.rate_range is not None else None
-                        ),
-                    }
-                    for spec in executor.graph
-                ],
+                "tasks": tasks,
             }
         )
+        if not executor.profile.is_identity:
+            self.meta["processor_profile"] = executor.profile.describe()
 
     def finalize_run(self, executor: "RTExecutor") -> None:
         """Mark leftover jobs unresolved and stamp the recording end time."""

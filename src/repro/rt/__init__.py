@@ -18,11 +18,13 @@ from .exectime import (
     TruncatedNormalExecTime,
     UniformExecTime,
 )
-from .executor import ProcessorState, RTExecutor, SimConfig
+from .executor import RTExecutor, SimConfig
+from .resources import ProcessorProfile, UnitSpec
+from .view import ProcessorState
 from .trace import TraceEntry, TraceRecorder, render_gantt
 from .metrics import MetricsRecorder, TaskStats, WindowSample
 from .queue import ReadyQueue
-from .task import Criticality, Job, JobState, TaskKind, TaskSpec
+from .task import ACTIVATION_MODES, Criticality, Job, JobState, TaskKind, TaskSpec
 from .taskgraph import GraphError, TaskGraph
 from .timeutil import TIME_EPS, is_zero_time, times_close
 
@@ -41,6 +43,9 @@ __all__ = [
     "TraceExecTime",
     "ExecTimeObserver",
     "ProcessorState",
+    "ProcessorProfile",
+    "UnitSpec",
+    "ACTIVATION_MODES",
     "RTExecutor",
     "SimConfig",
     "MetricsRecorder",

@@ -3,16 +3,25 @@
 This is the reproduction's substitute for the paper's Apollo-based
 "Auto-Driving Simulator" (Fig. 9): a distributed real-time system that
 simulates the execution of DAG tasks with dependencies, communication and
-resource allocation on ``M`` identical processors.
+resource allocation on a platform of processors — ``M`` identical ones by
+default, or a typed :class:`~repro.rt.resources.ProcessorProfile`
+(CPU/GPU/accelerator units with per-task affinities and speedups).
 
 Semantics (paper §III-A, resolved per DESIGN.md §2):
 
 * Source tasks release periodically at their current rate; rates can be
   retuned at runtime by the external coordinator via :meth:`RTExecutor.set_rate`.
-* A non-source task releases a job once **every** immediate predecessor has
-  delivered a fresh output since the task's last release (AND-activation).
+* A non-source task on the default ``all-inputs`` activation releases a job
+  once **every** immediate predecessor has delivered a fresh output since
+  the task's last release (AND-activation); ``newest-only`` tasks release
+  on *any* fresh input, merging the latest retained value per other edge
+  (fusion-pattern activation; see docs/heterogeneous.md).
 * Dispatch is non-preemptive; at every opportunity the active scheduler
-  ranks the ready queue and the lowest-rank eligible job runs.
+  ranks the ready queue and the lowest-rank eligible job runs.  On typed
+  platforms a job is only eligible for units inside its task's affinity
+  set, and its sampled execution time is divided by the unit's effective
+  speedup.  The identity profile (all-CPU, speedup 1.0) reproduces the
+  scalar model byte-for-byte (pinned by ``tests/differential``).
 * A job finishing after ``release + D_i`` counts as a **miss** and delivers
   nothing downstream; queued jobs whose deadline passes are dropped (also
   misses) when the scheduler's ``drop_expired`` flag is set.
@@ -29,7 +38,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from typing import TYPE_CHECKING
 
 from .events import Event, EventHeap, EventKind
-from .view import SystemView
+from .view import ProcessorState, SystemView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..obs.recorder import Recorder
@@ -37,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
 from .exectime import ExecContext, ExecTimeObserver
 from .metrics import MetricsRecorder
 from .queue import ReadyQueue
+from .resources import ProcessorProfile, ProfileLike
 from .task import Job, JobState, TaskKind, TaskSpec
 from .taskgraph import TaskGraph
 from .trace import TraceEntry, TraceRecorder
@@ -51,36 +61,20 @@ ControlHook = Callable[[Job, float], None]
 
 
 @dataclass
-class ProcessorState:
-    """One identical processor of the platform."""
-
-    index: int
-    job: Optional[Job] = None
-    busy_until: float = 0.0
-    busy_time_total: float = 0.0
-    #: Hot-(un)plug flag: a failed processor accepts no dispatches until it
-    #: recovers (see :meth:`RTExecutor.set_processor_available`).
-    available: bool = True
-
-    @property
-    def idle(self) -> bool:
-        return self.job is None
-
-    def remaining(self, now: float) -> float:
-        """Remaining processing time ``T_p`` of the running job (Eq. 11)."""
-        if self.job is None:
-            return 0.0
-        return max(0.0, self.busy_until - now)
-
-
-@dataclass
 class SimConfig:
     """Platform and run configuration.
 
     Attributes
     ----------
     n_processors:
-        Number of identical processors ``M``.
+        Number of identical processors ``M``.  Ignored (and overwritten)
+        when ``processor_profile`` is set.
+    processor_profile:
+        Typed platform description — a
+        :class:`~repro.rt.resources.ProcessorProfile`, its compact string
+        form (``"2xCPU+1xGPU@3"``), or ``None`` (the default) for
+        ``n_processors`` identical CPUs.  When set, ``n_processors`` is
+        derived from the profile's unit count.
     horizon:
         Simulated run length in seconds.
     coordination_period:
@@ -111,8 +105,12 @@ class SimConfig:
     observer_alpha: float = 0.5
     max_pending_per_task: int = 4
     drift_alpha: float = 0.1
+    processor_profile: Optional[ProfileLike] = None
 
     def __post_init__(self) -> None:
+        if self.processor_profile is not None:
+            self.processor_profile = ProcessorProfile.coerce(self.processor_profile)
+            self.n_processors = self.processor_profile.n_units
         if self.n_processors < 1:
             raise ValueError("need at least one processor")
         if self.horizon <= 0:
@@ -123,6 +121,17 @@ class SimConfig:
             raise ValueError("max_pending_per_task must be >= 1")
         if not (0.0 < self.drift_alpha <= 1.0):
             raise ValueError("drift_alpha must be in (0, 1]")
+
+    def resolved_profile(self) -> ProcessorProfile:
+        """The platform profile, synthesized for scalar configurations.
+
+        A scalar ``n_processors`` configuration resolves to the identity
+        profile (``n`` CPUs at speedup 1.0), so the executor has exactly
+        one processor-construction path.
+        """
+        if self.processor_profile is not None:
+            return ProcessorProfile.coerce(self.processor_profile)
+        return ProcessorProfile.homogeneous(self.n_processors)
 
 
 @dataclass
@@ -174,7 +183,16 @@ class RTExecutor:
         self.observer = ExecTimeObserver(
             alpha=self.config.observer_alpha, drift_alpha=self.config.drift_alpha
         )
-        self.processors = [ProcessorState(i) for i in range(self.config.n_processors)]
+        #: The typed platform description (identity for scalar configs).
+        self.profile = self.config.resolved_profile()
+        self.processors = [
+            ProcessorState(i, unit_type=u.type, speedup=u.speedup)
+            for i, u in enumerate(self.profile.units)
+        ]
+        # Identity platforms must stay byte-identical to the pre-typed
+        # model, so unit tags only enter recordings when the profile is
+        # genuinely typed (gate on is_identity, not on profile presence).
+        self._typed_platform = not self.profile.is_identity
 
         self._events = EventHeap()
         self._rates: Dict[str, float] = {}
@@ -275,14 +293,29 @@ class RTExecutor:
         else:
             self._oneshots.append((time, hook))
 
-    def set_processor_available(self, index: int, available: bool) -> Optional[Job]:
+    def typed_processor_index(self, unit_type: str, ordinal: int) -> int:
+        """Absolute index of the ``ordinal``-th unit of ``unit_type``.
+
+        Typed addressing for fault injection and tests: ``("GPU", 0)`` is
+        the first GPU wherever it sits in the profile's unit order.
+        """
+        return self.profile.typed_index(unit_type, ordinal)
+
+    def set_processor_available(
+        self, index: int, available: bool, unit_type: Optional[str] = None
+    ) -> Optional[Job]:
         """Hot-unplug (or re-add) one processor.
 
-        Failing a busy processor kills its in-flight job: the job counts as a
-        dropped miss, delivers nothing downstream, and is returned so callers
-        (the fault-injection harness) can log it.  Re-adding flips the flag
-        back; queued work reaches the processor at the next dispatch round.
+        With ``unit_type`` given, ``index`` is the ordinal *within that
+        type* (``("GPU", 0)`` addressing); otherwise it is the absolute
+        processor index.  Failing a busy processor kills its in-flight job:
+        the job counts as a dropped miss, delivers nothing downstream, and
+        is returned so callers (the fault-injection harness) can log it.
+        Re-adding flips the flag back; queued work reaches the processor at
+        the next dispatch round.
         """
+        if unit_type is not None:
+            index = self.typed_processor_index(unit_type, index)
         proc = self.processors[index]
         if proc.available == available:
             return None
@@ -333,7 +366,10 @@ class RTExecutor:
                 )
             )
         if self.recorder is not None:
-            self.recorder.span(job, proc_index, outcome, self.now)
+            # Unit tags appear only on typed platforms so identity-profile
+            # recordings stay byte-identical to the scalar model's.
+            unit = self.processors[proc_index].unit_type if self._typed_platform else None
+            self.recorder.span(job, proc_index, outcome, self.now, unit=unit)
 
     # ------------------------------------------------------------------
     # Main loop
@@ -427,9 +463,12 @@ class RTExecutor:
             # accounted as a dropped miss when the processor was unplugged.
             return
         proc.job = None
-        proc.busy_time_total += job.exec_time
+        # Busy time and the execution-time observer account the *wall*
+        # duration on the dispatched unit (speedup-scaled); identical to
+        # exec_time on the homogeneous platform.
+        proc.busy_time_total += job.wall_exec_time
         job.finish_time = self.now
-        self.observer.observe(job.task.name, job.exec_time)
+        self.observer.observe(job.task.name, job.wall_exec_time)
         on_time = self.now <= job.absolute_deadline
         self._record_interval(job, proc_index, outcome="complete" if on_time else "miss")
 
@@ -457,17 +496,32 @@ class RTExecutor:
         for succ in self.graph.isucc(spec.name):
             pending = self._pending_inputs[succ.name]
             pending[spec.name] = dict(job.provenance)
+            if succ.activation == "newest-only":
+                # Fusion-pattern activation: any fresh input fires the
+                # successor immediately.  The triggering token is consumed;
+                # the other edges contribute their latest *retained* value
+                # (a snapshot, kept for the next firing), so each firing
+                # consumes at most one token per edge and an edge that has
+                # never delivered simply contributes nothing yet.
+                self._release_job(succ, provenance=self._merge_pending(pending))
+                continue
             needed = {p.name for p in self.graph.ipred(succ.name)}
             if needed.issubset(pending.keys()):
-                merged: Dict[str, float] = {}
-                for prov in pending.values():
-                    for source, ts in prov.items():
-                        # Keep the *oldest* sample per source: a command is
-                        # only as fresh as the stalest data it consumed.
-                        if source not in merged or ts < merged[source]:
-                            merged[source] = ts
+                merged = self._merge_pending(pending)
                 pending.clear()
                 self._release_job(succ, provenance=merged)
+
+    @staticmethod
+    def _merge_pending(pending: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+        """Merge per-edge provenance into one released job's provenance."""
+        merged: Dict[str, float] = {}
+        for prov in pending.values():
+            for source, ts in prov.items():
+                # Keep the *oldest* sample per source: a command is
+                # only as fresh as the stalest data it consumed.
+                if source not in merged or ts < merged[source]:
+                    merged[source] = ts
+        return merged
 
     def _handle_periodic(self, payload: Tuple[str, Optional[_PeriodicHook]]) -> None:
         name, hook = payload
@@ -533,15 +587,20 @@ class RTExecutor:
                 break
             job = self.ready.pop_best(
                 key=lambda j: self.scheduler.rank(j, self.now, self.view),
-                processor=proc.index,
+                predicate=lambda j: self.scheduler.eligible(j, proc),
             )
             if job is None:
-                continue  # nothing eligible for this (bound) processor
+                continue  # nothing eligible for this (bound/typed) processor
             job.state = JobState.RUNNING
             job.start_time = self.now
             job.processor = proc.index
+            job.unit = proc.unit_type
+            # Wall duration on this unit: the sampled execution time divided
+            # by the unit's effective speedup (float-exact at speedup 1.0,
+            # keeping identity platforms byte-identical to the scalar model).
+            job.unit_exec_time = job.exec_time / proc.effective_speedup(job.task)
             proc.job = job
-            proc.busy_until = self.now + job.exec_time
+            proc.busy_until = self.now + job.unit_exec_time
             self._events.push(
                 proc.busy_until, Event(EventKind.JOB_FINISH, (proc.index, job))
             )

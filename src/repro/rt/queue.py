@@ -62,14 +62,21 @@ class ReadyQueue:
         self,
         key: Callable[[Job], float],
         processor: Optional[int] = None,
+        predicate: Optional[Callable[[Job], bool]] = None,
     ) -> Optional[Job]:
         """Remove and return the job minimizing ``key``.
 
-        ``processor`` restricts the choice to jobs eligible for that
-        processor.  Returns ``None`` when no eligible job exists.  Ties break
-        by release order (stable ``min``).
+        ``predicate`` restricts the choice to jobs it admits — the executor
+        passes the active scheduler's per-processor eligibility check
+        (static binding + typed-unit affinity) here.  ``processor`` is the
+        older binding-only filter, kept for callers without a scheduler in
+        hand; both filters preserve release order, so ties under ``key``
+        still break toward the earlier release (stable ``min``).  Returns
+        ``None`` when no eligible job exists.
         """
         candidates = self._jobs if processor is None else self.eligible(processor)
+        if predicate is not None:
+            candidates = [j for j in candidates if predicate(j)]
         if not candidates:
             return None
         best = min(candidates, key=key)

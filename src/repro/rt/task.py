@@ -19,15 +19,27 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple, Union
 
 __all__ = [
+    "ACTIVATION_MODES",
     "Criticality",
     "TaskKind",
     "TaskSpec",
     "Job",
     "JobState",
 ]
+
+#: Activation semantics of a non-source task (how fresh predecessor outputs
+#: trigger a release):
+#:
+#: * ``all-inputs`` — the original AND-join: release once *every* immediate
+#:   predecessor has delivered since the last release, then clear the
+#:   pending set (each input token is consumed by exactly one firing).
+#: * ``newest-only`` — fusion-pattern activation: release on *any* fresh
+#:   input, merging the triggering token with the latest retained value per
+#:   other edge (retained values are snapshots, not consumed tokens).
+ACTIVATION_MODES = ("all-inputs", "newest-only")
 
 
 class Criticality(enum.Enum):
@@ -88,7 +100,22 @@ class TaskSpec:
     uses_gpu:
         Purely informational flag mirroring the paper's note that detection
         tasks also occupy the GPU; the coordinator only schedules CPU time
-        but records execution time for such tasks identically.
+        but records execution time for such tasks identically.  (Typed
+        dispatch is expressed through ``affinity``, not this flag —
+        :func:`repro.workloads.profiles.heterogeneous_task_graph` derives
+        affinities from it.)
+    affinity:
+        Unit types the task may execute on (e.g. ``{"GPU"}``), for typed
+        :class:`~repro.rt.resources.ProcessorProfile` platforms.  ``None``
+        means any unit — the homogeneous default.
+    speedup:
+        Per-unit-type execution-rate overrides, e.g. ``{"GPU": 3.0}`` —
+        this task runs 3x faster on a GPU.  Types absent from the mapping
+        fall back to the unit's own default speedup.
+    activation:
+        One of :data:`ACTIVATION_MODES` (non-source tasks only; sources
+        are clock-activated).  Default ``all-inputs`` is the paper's
+        AND-join.
     """
 
     name: str
@@ -100,10 +127,33 @@ class TaskSpec:
     criticality: Criticality = Criticality.LOW
     processor_binding: Optional[int] = None
     uses_gpu: bool = False
+    affinity: Optional[Union[FrozenSet[str], Iterable[str]]] = None
+    speedup: Optional[Mapping[str, float]] = None
+    activation: str = "all-inputs"
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("task name must be non-empty")
+        if self.affinity is not None:
+            self.affinity = frozenset(str(t) for t in self.affinity)
+            if not self.affinity:
+                raise ValueError(
+                    f"task {self.name!r}: affinity must be a non-empty set of "
+                    "unit types (or None for any unit)"
+                )
+        if self.speedup is not None:
+            self.speedup = {str(t): float(v) for t, v in dict(self.speedup).items()}
+            for t, v in self.speedup.items():
+                if v <= 0:
+                    raise ValueError(
+                        f"task {self.name!r}: speedup for unit type {t!r} "
+                        f"must be positive, got {v}"
+                    )
+        if self.activation not in ACTIVATION_MODES:
+            raise ValueError(
+                f"task {self.name!r}: unknown activation {self.activation!r} "
+                f"(supported: {ACTIVATION_MODES})"
+            )
         if self.relative_deadline <= 0:
             raise ValueError(
                 f"task {self.name!r}: relative_deadline must be positive, "
@@ -128,6 +178,20 @@ class TaskSpec:
         if self.rate is None:
             return None
         return 1.0 / self.rate
+
+    def compatible_with(self, unit_type: str) -> bool:
+        """Whether this task may execute on a unit of ``unit_type``."""
+        return self.affinity is None or unit_type in self.affinity
+
+    def speedup_on(self, unit_type: str, default: float = 1.0) -> float:
+        """Effective execution-rate multiplier on a unit of ``unit_type``.
+
+        The task's per-type override wins; otherwise the unit's own
+        ``default`` applies.
+        """
+        if self.speedup is not None and unit_type in self.speedup:
+            return self.speedup[unit_type]
+        return default
 
     def __hash__(self) -> int:
         return hash(self.name)
@@ -170,6 +234,12 @@ class Job:
     start_time: Optional[float] = None
     finish_time: Optional[float] = None
     processor: Optional[int] = None
+    #: Unit type the job was dispatched to (set at dispatch; ``None`` before).
+    unit: Optional[str] = None
+    #: Wall-clock duration on the dispatched unit: ``exec_time`` divided by
+    #: the unit's effective speedup.  Equals ``exec_time`` exactly on
+    #: speedup-1.0 units (``x / 1.0`` is float-exact).
+    unit_exec_time: Optional[float] = None
     job_id: int = field(default_factory=lambda: next(_job_counter))
 
     def __post_init__(self) -> None:
@@ -188,6 +258,11 @@ class Job:
     def sense_time(self) -> float:
         """Timestamp of the oldest sensor sample feeding this job."""
         return min(self.provenance.values())
+
+    @property
+    def wall_exec_time(self) -> float:
+        """Time the job occupies its processor (speedup-scaled once dispatched)."""
+        return self.exec_time if self.unit_exec_time is None else self.unit_exec_time
 
     @property
     def response_time(self) -> Optional[float]:

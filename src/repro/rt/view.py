@@ -8,16 +8,68 @@ import cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Optional
 
 from .exectime import ExecTimeObserver
 from .queue import ReadyQueue
+from .task import Job, TaskSpec
 from .taskgraph import TaskGraph
 
-if TYPE_CHECKING:  # pragma: no cover - typing only
-    from .executor import ProcessorState
+__all__ = ["ProcessorState", "SystemView"]
 
-__all__ = ["SystemView"]
+
+@dataclass
+class ProcessorState:
+    """One processing unit of the platform.
+
+    On the default homogeneous platform every unit is a ``CPU`` at speedup
+    1.0 — an identical processor of the paper's model.  Typed
+    :class:`~repro.rt.resources.ProcessorProfile` platforms instantiate one
+    state per profile unit, carrying the unit's type and default speedup.
+    Lives here (not in the executor module) because it is part of the
+    policy-visible surface: schedulers receive it through
+    :meth:`~repro.schedulers.base.Scheduler.eligible` and
+    :attr:`SystemView.processors`.
+    """
+
+    index: int
+    job: Optional[Job] = None
+    busy_until: float = 0.0
+    busy_time_total: float = 0.0
+    #: Hot-(un)plug flag: a failed processor accepts no dispatches until it
+    #: recovers (see :meth:`~repro.rt.executor.RTExecutor.set_processor_available`).
+    available: bool = True
+    #: Unit type (e.g. ``"CPU"``, ``"GPU"``) — matched against task
+    #: affinity sets at dispatch.
+    unit_type: str = "CPU"
+    #: Default execution-rate multiplier of this unit; a task's per-type
+    #: ``speedup`` override wins (see :meth:`effective_speedup`).
+    speedup: float = 1.0
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None
+
+    def remaining(self, now: float) -> float:
+        """Remaining processing time ``T_p`` of the running job (Eq. 11)."""
+        if self.job is None:
+            return 0.0
+        return max(0.0, self.busy_until - now)
+
+    def can_run(self, spec: TaskSpec) -> bool:
+        """Dispatch admissibility: static binding plus typed-unit affinity."""
+        if spec.processor_binding is not None and spec.processor_binding != self.index:
+            return False
+        return spec.compatible_with(self.unit_type)
+
+    def effective_speedup(self, spec: TaskSpec) -> float:
+        """Execution-rate multiplier for ``spec`` on this unit.
+
+        The task's per-type override takes precedence over the unit's
+        default.  1.0 on every identity-profile unit, so dividing by it is
+        float-exact there.
+        """
+        return spec.speedup_on(self.unit_type, default=self.speedup)
 
 
 @dataclass
@@ -42,7 +94,7 @@ class SystemView:
 
     graph: TaskGraph
     ready: ReadyQueue
-    processors: List["ProcessorState"]
+    processors: List[ProcessorState]
     observer: ExecTimeObserver
     rates: Dict[str, float]
 
@@ -60,3 +112,20 @@ class SystemView:
     def busy_remaining(self, now: float) -> float:
         """Sum of remaining processing times over all processors (ΣT_p)."""
         return sum(p.remaining(now) for p in self.processors)
+
+    def unit_counts(self) -> Dict[str, int]:
+        """Live typed capacity: available unit count per unit type.
+
+        The typed refinement of :attr:`n_processors` — affinity-aware
+        policies can see how much of each resource class is actually
+        accepting work (failed units excluded, same as ``n_processors``).
+        """
+        counts: Dict[str, int] = {}
+        for p in self.processors:
+            if p.available:
+                counts[p.unit_type] = counts.get(p.unit_type, 0) + 1
+        return counts
+
+    def compatible_processors(self, spec: TaskSpec) -> List[ProcessorState]:
+        """Available processors ``spec`` may run on (binding + affinity)."""
+        return [p for p in self.processors if p.available and p.can_run(spec)]

@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 from ..rt.metrics import WindowSample
 from ..rt.task import Job
 from ..rt.taskgraph import TaskGraph
-from ..rt.view import SystemView
+from ..rt.view import ProcessorState, SystemView
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from ..obs.recorder import Recorder
@@ -60,6 +60,21 @@ class Scheduler:
     def rank(self, job: Job, now: float, view: SystemView) -> float:
         """Dispatch key for ``job`` — the smallest rank runs next."""
         raise NotImplementedError
+
+    def eligible(self, job: Job, processor: ProcessorState) -> bool:
+        """Whether ``job`` may be dispatched to ``processor``.
+
+        The executor filters the ready queue through this before ranking,
+        so every policy — EDF, HPF, HCPerf and the rest — is affinity-aware
+        on typed :class:`~repro.rt.resources.ProcessorProfile` platforms
+        through this one check.  The base rule admits a job iff the
+        processor satisfies the task's static binding *and* its typed-unit
+        affinity set; policies that want stricter placement (e.g. reserving
+        accelerators) override this, never the other way around — a job
+        must never run on a unit outside its affinity set (pinned by the
+        property suite).
+        """
+        return processor.can_run(job.task)
 
     def on_dispatch_round(self, now: float, view: SystemView) -> None:
         """Called once before each dispatch decision round.

@@ -9,6 +9,7 @@ from .profiles import (
     effective_rates,
     estimated_utilization,
     full_task_graph,
+    heterogeneous_task_graph,
     motivation_graph,
     scene_coupled_fusion_model,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "FUSION_TASK",
     "default_fusion_model",
     "full_task_graph",
+    "heterogeneous_task_graph",
     "motivation_graph",
     "scene_coupled_fusion_model",
     "SCENARIOS",

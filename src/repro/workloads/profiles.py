@@ -33,6 +33,7 @@ __all__ = [
     "CONTROL_TASK",
     "motivation_graph",
     "full_task_graph",
+    "heterogeneous_task_graph",
     "default_fusion_model",
     "scene_coupled_fusion_model",
     "effective_rates",
@@ -296,4 +297,33 @@ def full_task_graph(
         g.add_edge(src, dst)
     g.validate()
     assert len(g) == 23, f"Fig. 11 graph must have 23 tasks, got {len(g)}"
+    return g
+
+
+def heterogeneous_task_graph(
+    fusion_model: Optional[ExecutionTimeModel] = None,
+    gpu_speedup: float = 3.0,
+) -> TaskGraph:
+    """The Fig. 11 graph with its GPU stages typed for a CPU+GPU platform.
+
+    The two ``uses_gpu`` detectors (camera/lidar object detection) become
+    GPU-affine — they may only run on ``GPU`` units, where they execute
+    ``gpu_speedup``× faster than their calibrated CPU-side cost.  Every
+    other task is pinned to the ``CPU`` class, modelling the §VI platform
+    note: the accelerator runs inference kernels, the CPU cluster runs the
+    rest of the pipeline.  Pair with a typed
+    :class:`~repro.rt.resources.ProcessorProfile` such as ``"2xCPU+1xGPU"``;
+    on a homogeneous all-CPU profile the GPU-affine tasks would starve
+    (``TaskGraph.validate`` does not check platform compatibility — the
+    executor simply never dispatches them).
+    """
+    if gpu_speedup <= 0:
+        raise ValueError("gpu_speedup must be positive")
+    g = full_task_graph(fusion_model=fusion_model)
+    for spec in g:
+        if spec.uses_gpu:
+            spec.affinity = frozenset({"GPU"})
+            spec.speedup = {"GPU": float(gpu_speedup)}
+        else:
+            spec.affinity = frozenset({"CPU"})
     return g

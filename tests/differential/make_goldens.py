@@ -1,0 +1,42 @@
+"""Regenerate the differential-equivalence goldens.
+
+Run from the repo root::
+
+    PYTHONPATH=src:tests python tests/differential/make_goldens.py
+
+The committed goldens were produced at the commit *before* the typed
+processor model landed; regenerate them only if the executor's observable
+semantics change intentionally (and say so in the PR — every byte diff
+here is a semantic diff of the homogeneous platform).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from differential.harness import (
+    GOLDEN_DIR,
+    GRID,
+    golden_paths,
+    record_run,
+    write_golden_trace,
+)
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for scheduler, seed in GRID:
+        trace, metrics = record_run(scheduler, seed)
+        trace_path, metrics_path = golden_paths(scheduler, seed)
+        write_golden_trace(trace_path, trace)
+        metrics_path.write_text(metrics)
+        print(f"wrote {trace_path.name} ({len(trace)} bytes raw) and {metrics_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

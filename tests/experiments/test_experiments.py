@@ -21,8 +21,8 @@ from repro.experiments import (
 
 
 class TestRegistry:
-    def test_all_ten_registered(self):
-        assert len(EXPERIMENTS) == 10
+    def test_all_eleven_registered(self):
+        assert len(EXPERIMENTS) == 11
         for module in EXPERIMENTS.values():
             assert hasattr(module, "run") and hasattr(module, "render")
 

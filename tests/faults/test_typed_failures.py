@@ -1,0 +1,170 @@
+"""Processor failures on typed platforms.
+
+Typed addressing (``unit="GPU", processor=k``) must resolve to the k-th
+unit of that type, surviving jobs of an affine task must only ever land on
+the remaining compatible units, and the resilience twin-run machinery must
+work unchanged on a heterogeneous profile.
+"""
+
+import pytest
+
+from repro.faults import FaultSpec, InjectionHarness, ProcessorFailure
+from repro.obs.recorder import Recorder
+from repro.rt import ConstantExecTime, RTExecutor, SimConfig, TaskGraph, TaskSpec
+from repro.schedulers import EDFScheduler
+
+
+def gpu_pipeline() -> TaskGraph:
+    """src(CPU) -> detect(GPU-only) -> sink(CPU), loaded enough that the
+    detector is almost always in flight."""
+    g = TaskGraph()
+    g.add_task(TaskSpec("src", priority=3, relative_deadline=0.1,
+                        exec_model=ConstantExecTime(0.001),
+                        rate=40.0, rate_range=(10.0, 50.0),
+                        affinity=frozenset({"CPU"})))
+    g.add_task(TaskSpec("detect", priority=2, relative_deadline=0.1,
+                        exec_model=ConstantExecTime(0.012),
+                        affinity=frozenset({"GPU"}), speedup={"GPU": 1.0}))
+    g.add_task(TaskSpec("sink", priority=1, relative_deadline=0.1,
+                        exec_model=ConstantExecTime(0.001),
+                        affinity=frozenset({"CPU"})))
+    g.add_edge("src", "detect")
+    g.add_edge("detect", "sink")
+    g.validate()
+    return g
+
+
+def run_with_failure(fault, profile="1xCPU+2xGPU", horizon=1.0, seed=4):
+    graph = gpu_pipeline()
+    executor = RTExecutor(
+        graph, EDFScheduler(),
+        SimConfig(processor_profile=profile, horizon=horizon,
+                  coordination_period=0.25, seed=seed),
+    )
+    executor.recorder = Recorder()
+    harness = InjectionHarness(FaultSpec(faults=[fault]))
+    harness.attach(executor)
+    executor.run()
+    return executor, harness
+
+
+class TestTypedAddressing:
+    def test_unit_ordinal_resolves_to_absolute_index(self):
+        fault = ProcessorFailure(unit="GPU", processor=1, t_fail=0.3)
+        executor, harness = run_with_failure(fault)
+        # profile is 1xCPU+2xGPU, so GPU[1] is absolute index 2
+        assert not executor.processors[2].available
+        assert executor.processors[1].available
+        details = [e.detail for e in harness.events]
+        assert any("processor=2 (GPU[1])" in d for d in details)
+
+    def test_unknown_unit_type_rejected_at_attach(self):
+        graph = gpu_pipeline()
+        executor = RTExecutor(
+            graph, EDFScheduler(),
+            SimConfig(processor_profile="1xCPU+2xGPU", horizon=1.0, seed=0),
+        )
+        harness = InjectionHarness(FaultSpec(faults=[
+            ProcessorFailure(unit="TPU", processor=0, t_fail=0.1),
+        ]))
+        with pytest.raises(ValueError, match="processor_failure"):
+            harness.attach(executor)
+
+    def test_out_of_range_ordinal_rejected_at_attach(self):
+        graph = gpu_pipeline()
+        executor = RTExecutor(
+            graph, EDFScheduler(),
+            SimConfig(processor_profile="1xCPU+2xGPU", horizon=1.0, seed=0),
+        )
+        harness = InjectionHarness(FaultSpec(faults=[
+            ProcessorFailure(unit="GPU", processor=2, t_fail=0.1),
+        ]))
+        with pytest.raises(ValueError, match="processor_failure"):
+            harness.attach(executor)
+
+    def test_untyped_addressing_still_absolute(self):
+        fault = ProcessorFailure(processor=0, t_fail=0.3)
+        executor, _ = run_with_failure(fault)
+        assert not executor.processors[0].available
+        assert executor.processors[0].unit_type == "CPU"
+
+    def test_unit_field_round_trips_through_json(self):
+        spec = FaultSpec(faults=[
+            ProcessorFailure(unit="GPU", processor=1, t_fail=0.5, t_recover=0.8),
+        ])
+        clone = FaultSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.faults[0].unit == "GPU"
+
+
+class TestRedispatchCompatibility:
+    def test_gpu_kill_redispatches_only_to_surviving_gpu(self):
+        """After GPU[0] dies, every detector span lands on GPU[1] — never
+        on the CPU, and never on the dead unit."""
+        fault = ProcessorFailure(unit="GPU", processor=0, t_fail=0.3)
+        executor, _ = run_with_failure(fault, horizon=1.2)
+        gpu0 = executor.typed_processor_index("GPU", 0)  # absolute 1
+        gpu1 = executor.typed_processor_index("GPU", 1)  # absolute 2
+
+        detect_spans = [s for s in executor.recorder.spans() if s.task == "detect"]
+        assert detect_spans, "detector never ran"
+        before = [s for s in detect_spans if s.start < 0.3]
+        after = [s for s in detect_spans if s.start >= 0.3]
+        assert after, "detector never re-dispatched after the failure"
+        assert {s.processor for s in before} <= {gpu0, gpu1}
+        assert {s.processor for s in after} == {gpu1}
+        assert all(s.unit == "GPU" for s in detect_spans)
+        # the pipeline keeps producing despite the dead accelerator
+        assert executor.metrics.per_task["detect"].completed > 0
+
+    def test_in_flight_gpu_job_is_killed_not_migrated(self):
+        fault = ProcessorFailure(unit="GPU", processor=0, t_fail=0.3)
+        executor, harness = run_with_failure(fault, horizon=0.6)
+        kills = [s for s in executor.recorder.spans() if s.outcome == "kill"]
+        details = " ".join(e.detail for e in harness.events)
+        if "killed=" in details:
+            assert kills and all(s.unit == "GPU" for s in kills)
+
+    def test_all_gpus_dead_starves_the_affine_task(self):
+        """With every compatible unit gone, the GPU task stops executing
+        but the engine stays live (releases keep getting accounted)."""
+        fault = ProcessorFailure(unit="GPU", processor=0, t_fail=0.2)
+        graph = gpu_pipeline()
+        executor = RTExecutor(
+            graph, EDFScheduler(),
+            SimConfig(processor_profile="1xCPU+1xGPU", horizon=0.8,
+                      coordination_period=0.25, seed=4),
+        )
+        executor.recorder = Recorder()
+        harness = InjectionHarness(FaultSpec(faults=[fault]))
+        harness.attach(executor)
+        metrics = executor.run()
+        late = [s for s in executor.recorder.spans()
+                if s.task == "detect" and s.start >= 0.2]
+        assert late == []
+        assert metrics.per_task["src"].released > 0
+
+
+class TestHeterogeneousTwinRun:
+    def test_resilience_report_on_heterogeneous_profile(self):
+        """The twin-run resilience flow accepts a typed-platform scenario
+        and attributes degradation to the GPU failure window."""
+        from repro.experiments.heterogeneous import build_scenario
+        from repro.faults.resilience import run_resilience
+
+        def factory():
+            scenario = build_scenario("heterogeneous", horizon=12.0)
+            # keep the twin pair fast but past the failure window
+            return scenario
+
+        spec = FaultSpec(
+            name="gpu-blip",
+            faults=[ProcessorFailure(unit="GPU", processor=0,
+                                     t_fail=4.0, t_recover=7.0)],
+        )
+        report = run_resilience(factory, "EDF", spec, seed=0)
+        payload = report.to_dict()
+        assert payload["fault_events"], "failure never fired"
+        assert any("GPU[0]" in e["detail"] for e in payload["fault_events"])
+        # misses during the dead-GPU window exceed the pre-fault level
+        assert report.peak_miss_ratio >= report.baseline_miss_ratio

@@ -33,6 +33,25 @@ class TestBuildScenario:
         # step model elevated window: [t_on, t_off) with t_off = horizon
         assert model.t_on == 2.0 and model.t_off == 20.0
 
+    def test_processor_profile_override(self):
+        from repro.rt import ProcessorProfile
+
+        scenario = build_scenario("fig13", {"processor_profile": "2xCPU+1xGPU@3"})
+        assert scenario.sim.n_processors == 3
+        profile = scenario.sim.processor_profile
+        assert isinstance(profile, ProcessorProfile)
+        assert profile.describe() == "2xCPU+1xGPU@3"
+
+    def test_processor_profile_is_a_campaign_axis(self):
+        from repro.fleet.spec import CampaignSpec
+
+        spec = CampaignSpec(
+            variants=[{"processor_profile": "2xCPU"},
+                      {"processor_profile": "1xCPU+1xGPU@2"}],
+            seeds=(0,),
+        )
+        assert spec.n_jobs == 2 * len(spec.schedulers)
+
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError):
             build_scenario("warp", {})

@@ -145,3 +145,37 @@ class TestSummary:
         executor.recorder = rec
         executor.run()
         assert "time span" in summary_text(rec)
+
+
+class TestTypedSpanSerialization:
+    """The optional ``unit`` key: present iff the platform is typed."""
+
+    def _record(self, profile=None):
+        kwargs = (
+            {"processor_profile": profile}
+            if profile is not None else {"n_processors": 2}
+        )
+        executor = RTExecutor(
+            build_chain_graph(), EDFScheduler(),
+            SimConfig(horizon=0.5, coordination_period=0.25, seed=1, **kwargs),
+        )
+        rec = Recorder()
+        executor.recorder = rec
+        rec.bind_run(executor)
+        executor.run()
+        return rec
+
+    def test_identity_platform_spans_have_no_unit_key(self):
+        rec = self._record()
+        for line in to_jsonl(rec).splitlines()[1:]:
+            assert '"unit"' not in line
+        assert "processor_profile" not in rec.meta
+
+    def test_typed_platform_unit_round_trips(self):
+        rec = self._record(profile="1xCPU+1xGPU@2")
+        text = to_jsonl(rec)
+        clone = from_jsonl(text)
+        spans = [e for e in clone.events if e.kind == "span"]
+        assert spans and all(s.unit in ("CPU", "GPU") for s in spans)
+        assert to_jsonl(clone) == text
+        assert clone.meta["processor_profile"] == "1xCPU+1xGPU@2"

@@ -193,3 +193,60 @@ def test_recorder_attachment_does_not_change_the_run():
     assert plain_metrics.overall_miss_ratio == recorded_metrics.overall_miss_ratio
     assert plain.rates() == recorded.rates()
     assert plain.utilization() == recorded.utilization()
+
+
+# ---------------------------------------------------------------------------
+# Typed platforms and activation modes (OBS001-OBS009 must stay clean)
+# ---------------------------------------------------------------------------
+
+TYPED_PROFILES = ("2xCPU", "1xCPU+1xGPU@2", "2xCPU+1xGPU@3")
+
+ACTIVATIONS = ("all-inputs", "newest-only")
+
+
+def typed_workload(rng: random.Random, profile: str, activation: str) -> TaskGraph:
+    """A random workload retargeted onto a typed platform.
+
+    On GPU-bearing profiles one middle stage becomes GPU-affine (with a
+    speedup override); the sink gets the requested activation mode.
+    """
+    g = random_workload(rng)
+    names = {t.name for t in g}
+    if "GPU" in profile:
+        target = "mid" if "mid" in names else "left"
+        g.task(target).affinity = frozenset({"GPU"})
+        g.task(target).speedup = {"GPU": 2.0}
+    g.task("sink").activation = activation
+    return g
+
+
+@pytest.mark.parametrize("profile", TYPED_PROFILES)
+@pytest.mark.parametrize("activation", ACTIVATIONS)
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+def test_typed_runs_satisfy_all_invariants(scheduler, activation, profile):
+    from repro.rt import SimConfig
+    from repro.schedulers import make_scheduler
+    from repro.rt.executor import RTExecutor
+
+    rng = random.Random(len(profile) * 31 + len(activation))
+    graph = typed_workload(rng, profile, activation)
+    executor = RTExecutor(
+        graph,
+        make_scheduler(scheduler),
+        SimConfig(processor_profile=profile, horizon=1.5,
+                  coordination_period=0.25, seed=11),
+    )
+    rec = Recorder()
+    executor.recorder = rec
+    executor.run()
+    assert rec.events, "instrumented run produced no events"
+    violations = check_recording(rec)
+    assert violations == [], "\n".join(str(v) for v in violations)
+    # typed platforms tag every span with its unit; identity ones never do
+    units = {s.unit for s in rec.spans()}
+    if profile == "2xCPU":
+        assert units <= {None}
+        assert "processor_profile" not in rec.meta
+    else:
+        assert None not in units and units
+        assert rec.meta["processor_profile"] == profile
